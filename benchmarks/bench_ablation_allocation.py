@@ -1,0 +1,99 @@
+"""Ablation: modulo buffer allocation and the branch-and-bound objective.
+
+Quantifies two things DESIGN.md calls out:
+
+1. how close the simple modulo addressing scheme gets to the ideal
+   (fully associative) window — the ``modulus / MWS`` overhead, per
+   kernel and per transformation state;
+2. the Section-4.2 solver choices: full branch-and-bound over eq. (2)
+   vs. the paper's "minimize |alpha2 a - alpha1 b|" shortcut vs. plain
+   enumeration — same optimum where it matters, different costs and
+   different failure modes (the shortcut picks (1,1) on the worked
+   example and pays 30 vs. 22).
+"""
+
+from fractions import Fraction
+
+import pytest
+from conftest import record
+
+from repro.ir import parse_program
+from repro.transform import allocate_window, search_mws_2d
+from repro.transform.branch_bound import (
+    branch_and_bound_mws_2d,
+    minimize_window_step,
+)
+from repro.window import mws_2d_estimate
+
+EX8 = """
+for i = 1 to 25 {
+  for j = 1 to 10 {
+    X[2*i + 5*j + 1] = X[2*i + 5*j + 5]
+  }
+}
+"""
+
+DISTS = [(3, -2), (2, 0), (5, -2)]
+
+
+@pytest.mark.parametrize("state", ["original", "transformed"])
+def test_allocation_overhead(benchmark, state):
+    program = parse_program(EX8)
+    transformation = None
+    if state == "transformed":
+        transformation = search_mws_2d(program, "X").transformation
+    alloc = benchmark.pedantic(
+        allocate_window, args=(program, "X", transformation),
+        rounds=1, iterations=1,
+    )
+    assert alloc.modulus >= alloc.mws
+    assert alloc.overhead <= 0.10  # modulo scheme stays within 10% of ideal
+    record(
+        benchmark,
+        state=state, mws=alloc.mws, modulus=alloc.modulus,
+        overhead_pct=round(100 * alloc.overhead, 1),
+    )
+
+
+def test_bb_vs_enumeration_agree(benchmark):
+    def run():
+        bb = branch_and_bound_mws_2d(2, 5, 25, 10, DISTS, bound=12)
+        import math
+
+        best = None
+        for a in range(0, 13):
+            for b in range(-12, 13):
+                if (a, b) == (0, 0) or math.gcd(a, b) != 1:
+                    continue
+                if a == 0 and b < 0:
+                    continue
+                if any(a * d1 + b * d2 < 0 for d1, d2 in DISTS):
+                    continue
+                value = mws_2d_estimate(2, 5, 25, 10, a, b)
+                if best is None or value < best:
+                    best = value
+        return bb, best
+
+    bb, best = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert bb.objective == best == Fraction(22)
+    record(benchmark, bb_evaluated=bb.candidates_evaluated, optimum=22)
+
+
+def test_bb_speed(benchmark):
+    result = benchmark(branch_and_bound_mws_2d, 2, 5, 25, 10, DISTS, 12)
+    assert result.objective == Fraction(22)
+    record(benchmark, nodes=result.nodes_explored)
+
+
+def test_window_step_shortcut_gap(benchmark):
+    """The paper's linear shortcut is fast but suboptimal here: it picks
+    (1, 1) with window step 3 but MWS 30 vs. the true optimum 22."""
+
+    def run():
+        row = minimize_window_step(2, 5, DISTS)
+        return row, mws_2d_estimate(2, 5, 25, 10, *row)
+
+    row, value = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row == (1, 1)
+    assert value == Fraction(30)
+    record(benchmark, shortcut_row=str(row), shortcut_mws=30, optimum=22)

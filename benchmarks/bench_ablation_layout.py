@@ -1,0 +1,86 @@
+"""Ablation: layout x traversal interaction (the paper's future work).
+
+Measures, on the 2point stencil, how the line-granular window and cache
+misses respond to (a) the window-minimizing transformation and (b) the
+array layout — demonstrating that loop transformation and data layout
+must be co-designed: the transformation that minimizes the element
+window maximizes the line window under the wrong layout.
+"""
+
+import pytest
+from conftest import record
+
+from repro.ir import parse_program
+from repro.layout import ColumnMajorLayout, RowMajorLayout, max_line_window
+from repro.linalg import IntMatrix
+from repro.memory import CacheConfig, simulate_cache
+from repro.window import max_window_size
+
+STENCIL = """
+for i = 1 to 16 {
+  for j = 1 to 16 {
+    B[0] = A[i-1][j] + A[i][j]
+  }
+}
+"""
+
+INTERCHANGE = IntMatrix([[0, 1], [1, 0]])
+
+
+@pytest.mark.parametrize("layout_name", ["row", "col"])
+@pytest.mark.parametrize("order", ["original", "interchanged"])
+def test_line_window_matrix(benchmark, layout_name, order):
+    program = parse_program(STENCIL)
+    layout = RowMajorLayout() if layout_name == "row" else ColumnMajorLayout()
+    t = None if order == "original" else INTERCHANGE
+    lines = benchmark.pedantic(
+        max_line_window, args=(program, "A", layout, 4, t),
+        rounds=1, iterations=1,
+    )
+    elements = max_window_size(program, "A", t)
+    # A line outlives its elements (it is live between accesses to any of
+    # its members), so the line window can exceed the element window when
+    # the layout fights the traversal — that is the point of this matrix.
+    assert lines >= 1
+    record(benchmark, layout=layout_name, order=order,
+           line_window=lines, element_window=elements)
+
+
+def test_codesign_crossover(benchmark):
+    """The crossover: after interchange, column-major wins; before it,
+    row-major wins.  Same code, opposite layout choice."""
+    program = parse_program(STENCIL)
+
+    def run():
+        return {
+            ("original", "row"): max_line_window(program, "A", RowMajorLayout(), 4),
+            ("original", "col"): max_line_window(program, "A", ColumnMajorLayout(), 4),
+            ("interchanged", "row"): max_line_window(
+                program, "A", RowMajorLayout(), 4, INTERCHANGE
+            ),
+            ("interchanged", "col"): max_line_window(
+                program, "A", ColumnMajorLayout(), 4, INTERCHANGE
+            ),
+        }
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert grid[("original", "row")] <= grid[("original", "col")]
+    assert grid[("interchanged", "col")] <= grid[("interchanged", "row")]
+    record(benchmark, **{f"{o}_{l}": v for (o, l), v in grid.items()})
+
+
+@pytest.mark.parametrize("order", ["original", "interchanged"])
+def test_cache_misses(benchmark, order):
+    """A small LRU cache sees the element-window improvement directly
+    when the layout matches the traversal."""
+    program = parse_program(STENCIL)
+    t = None if order == "original" else INTERCHANGE
+    layout = RowMajorLayout() if order == "original" else ColumnMajorLayout()
+    config = CacheConfig(total_lines=8, line_size=4, associativity=4)
+    stats = benchmark.pedantic(
+        simulate_cache, args=(program, config, layout, t),
+        rounds=1, iterations=1,
+    )
+    record(benchmark, order=order, misses=stats.misses,
+           miss_rate=round(stats.miss_rate, 3))
+    assert stats.hits + stats.misses == stats.accesses

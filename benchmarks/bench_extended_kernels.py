@@ -1,0 +1,67 @@
+"""Extended workloads: the pipeline beyond the paper's seven kernels.
+
+Expected shapes (asserted): conv2d's window is a 3-row band and no legal
+transformation beats a band (both grid directions carry reuse);
+transpose has no temporal reuse at all (window ~0) but is the
+layout-adversarial case for *line* windows; FIR's window is the tap
+count; the downsampler touches each input once (nothing to keep);
+matvec keeps the vector resident (window ~n).
+"""
+
+import pytest
+from conftest import record
+
+from repro.core import optimize_program
+from repro.kernels.extended import EXTENDED_KERNELS, conv2d, downsample, fir, matvec, transpose
+from repro.window import max_window_size
+
+
+@pytest.mark.parametrize("spec", EXTENDED_KERNELS, ids=lambda s: s.name)
+def test_extended_pipeline(benchmark, spec):
+    program = spec.build()
+    result = benchmark.pedantic(optimize_program, args=(program,), rounds=1, iterations=1)
+    assert result.mws_after <= result.mws_before
+    record(
+        benchmark,
+        kernel=spec.name,
+        default=program.default_memory,
+        mws_unopt=result.mws_before,
+        mws_opt=result.mws_after,
+        reduction_pct=round(100 * (1 - result.mws_after / max(1, program.default_memory)), 1),
+    )
+
+
+def test_conv2d_band_window(benchmark):
+    program = conv2d(24, 3)
+    mws = benchmark(max_window_size, program, "A")
+    # A 3x3 stencil holds about three image rows.
+    assert 2 * 24 <= mws <= 3 * 24 + 9
+    record(benchmark, mws=mws, rows=round(mws / 24, 2))
+
+
+def test_transpose_no_temporal_reuse(benchmark):
+    program = transpose(24)
+    mws = benchmark(max_window_size, program, "A")
+    assert mws == 0  # every element read exactly once
+    record(benchmark, mws=mws)
+
+
+def test_fir_window_is_tap_count(benchmark):
+    program = fir(128, 16)
+    mws = benchmark(max_window_size, program, "X")
+    assert 14 <= mws <= 18  # the sliding window holds ~taps samples
+    record(benchmark, mws=mws, taps=16)
+
+
+def test_downsample_touches_once(benchmark):
+    program = downsample(32, 2)
+    mws = benchmark(max_window_size, program, "A")
+    assert mws == 0
+    record(benchmark, mws=mws)
+
+
+def test_matvec_vector_resident(benchmark):
+    program = matvec(32)
+    mws = benchmark(max_window_size, program, "X")
+    assert 28 <= mws <= 33  # the whole vector is re-read per row
+    record(benchmark, mws=mws)

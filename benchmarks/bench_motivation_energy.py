@@ -1,0 +1,74 @@
+"""Section 1 motivation, quantified: why memory size matters.
+
+The paper's opening argument: per-access energy grows with memory size,
+large memories are slower, and they occupy more silicon — so provisioning
+the window instead of the declaration pays threefold.  This bench runs
+the argument end to end on the 2point kernel: measure the window,
+provision it, simulate the traffic, and price both designs under the
+CACTI-style model.
+"""
+
+import pytest
+from conftest import record
+
+from repro.core import optimize_program
+from repro.kernels import two_point
+from repro.memory import MemoryCostModel, simulate_scratchpad
+
+
+def test_energy_story_end_to_end(benchmark):
+    program = two_point(32)
+    model = MemoryCostModel()
+
+    def run():
+        result = optimize_program(program)
+        declared = program.default_memory
+        window = max(1, result.mws_after)
+        stats = simulate_scratchpad(
+            program, window, transformation=result.transformation
+        )
+        # Both designs pay the same compulsory off-chip traffic (the data
+        # starts off chip either way, and a window-sized buffer with
+        # optimal management adds no capacity misses); the difference is
+        # the per-access cost of the on-chip memory itself.
+        naive_energy = model.total_energy_pj(
+            declared,
+            onchip_accesses=stats.accesses,
+            offchip_transfers=stats.offchip_transfers,
+        )
+        window_energy = model.total_energy_pj(
+            window,
+            onchip_accesses=stats.accesses,
+            offchip_transfers=stats.offchip_transfers,
+        )
+        return declared, window, naive_energy, window_energy, stats
+
+    declared, window, naive, ours, stats = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert stats.capacity_misses == 0  # the window buffer never thrashes
+    assert ours < naive
+    record(
+        benchmark,
+        declared_words=declared,
+        window_words=window,
+        naive_energy_pj=round(naive),
+        window_energy_pj=round(ours),
+        energy_saving_pct=round(100 * (1 - ours / naive), 1),
+        offchip_transfers=stats.offchip_transfers,
+    )
+
+
+@pytest.mark.parametrize("capacity", [64, 256, 1024, 4096])
+def test_cost_curves(benchmark, capacity):
+    """The raw model curves the argument rests on (monotone in size)."""
+    model = MemoryCostModel()
+    energy = benchmark(model.energy_per_access_pj, capacity)
+    record(
+        benchmark,
+        capacity=capacity,
+        energy_pj=round(energy, 2),
+        latency_ns=round(model.latency_ns(capacity), 2),
+        area_mm2=round(model.area_mm2(capacity), 4),
+    )
+    assert energy > 0

@@ -1,0 +1,103 @@
+"""Equations (1)-(2): the closed-form 2-D MWS estimate (Example 9's form).
+
+Pins every instantiation the paper prints — identity on Example 8 gives
+50, the optimal (2, 3) row gives 22 — and sweeps the estimate against the
+exact simulator across transformations to quantify the estimate's band.
+"""
+
+from fractions import Fraction
+
+import pytest
+from conftest import record
+
+from repro.ir import parse_program
+from repro.linalg import IntMatrix
+from repro.transform import complete_first_row_2d
+from repro.transform.legality import ordering_distances
+from repro.window import max_window_size, mws_2d_estimate
+
+EXAMPLE_8 = """
+for i = 1 to 25 {
+  for j = 1 to 10 {
+    X[2*i + 5*j + 1] = X[2*i + 5*j + 5]
+  }
+}
+"""
+
+PAPER_POINTS = [
+    # (alpha1, alpha2, n1, n2, a, b, expected)
+    (2, 5, 25, 10, 1, 0, 50),   # Example 8 original
+    (2, 5, 25, 10, 2, 3, 22),   # Section 4.2 optimum
+    (2, -3, 20, 30, 1, 0, 90),  # Example 7 original (paper metric: 89)
+    (2, -3, 20, 30, 0, 1, 40),  # Example 7 interchange (paper: 41)
+    (2, -3, 20, 30, 2, -3, 1),  # Example 7 compound row
+]
+
+
+@pytest.mark.parametrize("alpha1,alpha2,n1,n2,a,b,expected", PAPER_POINTS)
+def test_eq2_paper_points(benchmark, alpha1, alpha2, n1, n2, a, b, expected):
+    value = benchmark(mws_2d_estimate, alpha1, alpha2, n1, n2, a, b)
+    assert value == Fraction(expected)
+    record(benchmark, estimate=float(value))
+
+
+def test_eq2_tracks_simulator_across_rows(benchmark):
+    """For every tileable coprime first row within |a|,|b| <= 4, the
+    eq. (2) estimate stays within a small band of the exact window."""
+    import math
+
+    program = parse_program(EXAMPLE_8)
+    distances = ordering_distances(program, "X")
+
+    def run():
+        gaps = []
+        for a in range(0, 5):
+            for b in range(-4, 5):
+                if math.gcd(a, b) != 1:
+                    continue
+                if any(a * d1 + b * d2 < 0 for d1, d2 in distances):
+                    continue
+                t = complete_first_row_2d(a, b, distances)
+                if t is None:
+                    continue
+                est = mws_2d_estimate(2, 5, 25, 10, a, b)
+                exact = max_window_size(program, "X", t)
+                gaps.append((float(est), exact))
+        return gaps
+
+    gaps = benchmark(run)
+    assert gaps, "no tileable rows found"
+    for est, exact in gaps:
+        # Estimate is upper-flavored: never undershoots by more than the
+        # in-flight element, never overshoots by more than ~40%.
+        assert exact <= est + 1
+        assert est <= 1.5 * exact + 8
+    record(benchmark, points=len(gaps))
+
+
+def test_eq2_minimizer_is_papers(benchmark):
+    """Minimizing eq. (2) over tileable rows selects the paper's (2, 3)."""
+    import math
+
+    program = parse_program(EXAMPLE_8)
+    distances = ordering_distances(program, "X")
+
+    def run():
+        best = None
+        for a in range(0, 7):
+            for b in range(-6, 7):
+                if math.gcd(a, b) != 1:
+                    continue
+                if any(a * d1 + b * d2 < 0 for d1, d2 in distances):
+                    continue
+                if complete_first_row_2d(a, b, distances) is None:
+                    continue
+                est = mws_2d_estimate(2, 5, 25, 10, a, b)
+                if best is None or est < best[0]:
+                    best = (est, (a, b))
+        return best
+
+    best = benchmark(run)
+    assert best[1] == (2, 3)
+    assert best[0] == 22
+    record(benchmark, row=str(best[1]), estimate=float(best[0]))

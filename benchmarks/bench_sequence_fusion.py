@@ -1,0 +1,84 @@
+"""Sequence-level experiment: inter-nest buffers and fusion.
+
+Extends the paper's single-nest evaluation to the application level (the
+IMEC-style context its introduction cites): a produce-consume pipeline's
+memory is dominated by the intermediate frame crossing the nest
+boundary; legal fusion collapses it to a window.
+"""
+
+import pytest
+from conftest import record
+
+from repro.ir import parse_program
+from repro.ir.sequence import ProgramSequence, sequence_memory_report
+from repro.transform.fusion import can_fuse, fuse, fusion_memory_report
+from repro.window import max_total_window
+
+
+def _stage1(n):
+    return parse_program(
+        f"for i = 1 to {n} {{ for j = 1 to {n} {{ "
+        f"P1: T[i][j] = A[i-1][j] + A[i][j] + A[i+1][j] }} }}",
+        name="smooth",
+    )
+
+
+def _stage2(n):
+    return parse_program(
+        f"for i = 1 to {n} {{ for j = 1 to {n} {{ "
+        f"C1: B[i][j] = T[i][j] + T[i][j-1] }} }}",
+        name="gradient",
+    )
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_pipeline_memory(benchmark, n):
+    seq = ProgramSequence([_stage1(n), _stage2(n)], name=f"pipe{n}")
+    report = benchmark.pedantic(sequence_memory_report, args=(seq,), rounds=1, iterations=1)
+    # The boundary carries the whole n x n intermediate frame.
+    assert report.per_boundary[0] == n * n
+    assert report.requirement >= n * n
+    record(
+        benchmark,
+        n=n,
+        boundary_live=report.per_boundary[0],
+        requirement=report.requirement,
+        declared=report.declared,
+    )
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_fusion_collapses_intermediate(benchmark, n):
+    a, b = _stage1(n), _stage2(n)
+    ok, reason = can_fuse(a, b)
+    assert ok, reason
+    report = benchmark.pedantic(fusion_memory_report, args=(a, b), rounds=1, iterations=1)
+    assert report.fused_requirement <= 3 * n + 8  # a few rows, not a frame
+    assert report.saving > 0.85
+    record(
+        benchmark,
+        n=n,
+        unfused=report.unfused_requirement,
+        fused=report.fused_requirement,
+        saving_pct=round(100 * report.saving, 1),
+    )
+
+
+def test_illegal_fusion_detected(benchmark):
+    a = parse_program("for i = 1 to 16 { P1: T[i] = A[i] }")
+    b = parse_program("for i = 1 to 16 { C1: B[i] = T[i+1] }")
+
+    def run():
+        return can_fuse(a, b)
+
+    ok, reason = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not ok
+    record(benchmark, reason=reason)
+
+
+def test_fused_equals_direct_window(benchmark):
+    a, b = _stage1(16), _stage2(16)
+    fused = fuse(a, b)
+    value = benchmark(max_total_window, fused)
+    assert value == fusion_memory_report(a, b).fused_requirement
+    record(benchmark, fused_window=value)

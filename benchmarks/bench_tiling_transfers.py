@@ -1,0 +1,71 @@
+"""Tiling + block transfers: the Section 4.1 motivation, quantified.
+
+Tileability is required "to use block transfers, which are very useful
+to minimize the number of off-chip accesses".  This bench sweeps tile
+sizes on a tileable stencil: larger tiles amortize transfers (interior
+reuse is captured inside the tile) until the double buffer outgrows the
+SRAM budget — the provisioning trade `best_tile_for_budget` automates.
+"""
+
+import pytest
+from conftest import record
+
+from repro.ir import parse_program
+from repro.memory.prefetch import best_tile_for_budget, plan_double_buffering
+from repro.transform import is_fully_permutable
+
+STENCIL = """
+for i = 1 to 32 {
+  for j = 1 to 32 {
+    A[i][j] = A[i][j] + A[i-1][j] + A[i][j-1]
+  }
+}
+"""
+
+
+@pytest.mark.parametrize("size", [2, 4, 8, 16])
+def test_transfer_amortization(benchmark, size):
+    program = parse_program(STENCIL)
+    assert is_fully_permutable(program)
+    plan = benchmark.pedantic(
+        plan_double_buffering, args=(program, (size, size)),
+        rounds=1, iterations=1,
+    )
+    record(
+        benchmark,
+        tile=size,
+        footprint=plan.tile_footprint_words,
+        buffer=plan.buffer_words,
+        words_per_iteration=round(plan.words_per_iteration, 3),
+    )
+    assert plan.words_per_iteration > 0
+
+
+def test_amortization_is_monotone(benchmark):
+    program = parse_program(STENCIL)
+
+    def run():
+        return [
+            plan_double_buffering(program, (s, s)).words_per_iteration
+            for s in (2, 4, 8, 16)
+        ]
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert curve == sorted(curve, reverse=True)
+    record(benchmark, curve=str([round(v, 3) for v in curve]))
+
+
+@pytest.mark.parametrize("budget", [32, 128, 512])
+def test_budgeted_tile_choice(benchmark, budget):
+    program = parse_program(STENCIL)
+    plan = benchmark.pedantic(
+        best_tile_for_budget, args=(program, budget), rounds=1, iterations=1
+    )
+    assert plan.buffer_words <= budget
+    record(
+        benchmark,
+        budget=budget,
+        tile=plan.tile[0],
+        buffer=plan.buffer_words,
+        words_per_iteration=round(plan.words_per_iteration, 3),
+    )

@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every file here regenerates one table, figure or numbered worked example
+of the paper (see DESIGN.md's per-experiment index).  Each benchmark
+asserts the reproduced values (paper-vs-measured is recorded in
+EXPERIMENTS.md) and times the underlying algorithm via pytest-benchmark.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def record(benchmark, **info):
+    """Attach reproduced numbers to the benchmark's extra_info."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,11 @@
+"""Setup shim so editable installs work without the `wheel` package.
+
+The offline environment has setuptools but not wheel, so PEP 517 editable
+installs fail; `pip install -e . --no-use-pep517 --no-build-isolation`
+falls back to `setup.py develop`, which this file enables.  All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""repro - reproduction of Ramanujam, Hong, Kandemir & Narayan,
+"Reducing Memory Requirements of Nested Loops for Embedded Systems"
+(DAC 2001).
+
+The library estimates the number of distinct array accesses of perfectly
+nested affine loops, computes exact and closed-form *maximum window
+sizes* (the minimum on-chip data memory that avoids off-chip re-fetches),
+and searches legal, tileable unimodular loop transformations that
+minimize that window.
+
+Quick start::
+
+    from repro import parse_program, analyze_program, optimize_program
+
+    program = parse_program('''
+    for i = 1 to 20 {
+      for j = 1 to 30 {
+        S1: Y[0] = X[2*i - 3*j]
+      }
+    }
+    ''')
+    print(analyze_program(program))        # footprint + exact windows
+    result = optimize_program(program)     # MWS 86 -> 1
+    print(result.transformation.pretty())
+
+Subpackages: ``linalg`` (exact integer linear algebra), ``ir`` (loop-nest
+IR, parser, codegen), ``polyhedral`` (Fourier-Motzkin, lattice counting),
+``dependence`` (distance/reuse analysis), ``estimation`` (Section 3),
+``window`` (Section 2.3/4 window model), ``transform`` (Section 4 search
+and baselines), ``memory`` (scratchpad/energy substrate), ``kernels``
+(the Figure-2 suite), ``reporting`` (tables).
+"""
+
+from repro.core import (
+    AnalysisReport,
+    OptimizationResult,
+    analyze_program,
+    full_report,
+    optimize_program,
+)
+from repro.estimation import (
+    estimate_distinct_accesses,
+    estimate_program_memory,
+    exact_distinct_accesses,
+    nonuniform_bounds,
+)
+from repro.ir import (
+    ArrayDecl,
+    ArrayRef,
+    Loop,
+    LoopNest,
+    NestBuilder,
+    Program,
+    Statement,
+    generate_source,
+    generate_transformed_source,
+    parse_program,
+)
+from repro.linalg import IntMatrix
+from repro.memory import simulate_scratchpad, size_memory_for_program
+from repro.transform import (
+    eisenbeis_search,
+    li_pingali_transformation,
+    search_best_transformation,
+)
+from repro.window import max_total_window, max_window_size, window_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AnalysisReport",
+    "OptimizationResult",
+    "analyze_program",
+    "optimize_program",
+    "full_report",
+    "estimate_distinct_accesses",
+    "exact_distinct_accesses",
+    "estimate_program_memory",
+    "nonuniform_bounds",
+    "ArrayDecl",
+    "ArrayRef",
+    "Loop",
+    "LoopNest",
+    "NestBuilder",
+    "Program",
+    "Statement",
+    "parse_program",
+    "generate_source",
+    "generate_transformed_source",
+    "IntMatrix",
+    "simulate_scratchpad",
+    "size_memory_for_program",
+    "max_window_size",
+    "max_total_window",
+    "window_profile",
+    "eisenbeis_search",
+    "li_pingali_transformation",
+    "search_best_transformation",
+]

@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+::
+
+    python -m repro analyze loop.txt        # footprints + exact windows
+    python -m repro dependences loop.txt    # distance vectors, kinds, levels
+    python -m repro optimize loop.txt --codegen
+    python -m repro size loop.txt           # provision an on-chip buffer
+    python -m repro buffer loop.txt         # modulo window allocation + codegen
+    python -m repro distribute loop.txt     # legal loop fission
+    python -m repro viz loop.txt            # reuse region / window profile art
+    python -m repro figure2 [--kernel sor]  # regenerate the paper's table
+
+The input format is the small C-like syntax of :mod:`repro.ir.parser`
+(see examples/ and README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import analyze_program, optimize_program
+from repro.ir import generate_transformed_source, parse_program
+from repro.ir.parser import ParseError
+from repro.memory import size_memory_for_program
+
+
+def _load(path: str, name: str | None = None):
+    text = Path(path).read_text()
+    return parse_program(text, name=name or Path(path).stem)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    print(analyze_program(program))
+    return 0
+
+
+def _cmd_dependences(args: argparse.Namespace) -> int:
+    from repro.dependence import program_dependences
+
+    program = _load(args.file)
+    deps = program_dependences(program, include_input=not args.no_input)
+    if not deps:
+        print("no constant-distance dependences")
+        return 0
+    for dep in deps:
+        tag = " (reduction)" if dep.reduction else ""
+        print(
+            f"{dep.kind.value:<7} {dep.array:<8} d={dep.distance} "
+            f"level={dep.level}{tag}"
+        )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    result = optimize_program(program)
+    print(f"MWS before : {result.mws_before}")
+    print(f"MWS after  : {result.mws_after}")
+    print(f"reduction  : {100 * result.reduction:.1f}%")
+    print("T =")
+    print(result.transformation.pretty())
+    if args.codegen:
+        print()
+        print(generate_transformed_source(program, result.transformation))
+    return 0
+
+
+def _cmd_size(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    transformation = None
+    if args.optimized:
+        transformation = optimize_program(program).transformation
+    report = size_memory_for_program(program, transformation)
+    print(f"declared            : {report.declared_words} words")
+    print(f"maximum window size : {report.mws_words} words")
+    print(f"provisioned         : {report.provisioned_words} words")
+    print(f"off-chip transfers  : {report.offchip_transfers}")
+    print(f"memory reduction    : {100 * report.memory_reduction:.1f}%")
+    print(
+        f"energy/access       : {report.energy_per_access_pj:.2f} pJ "
+        f"(naive {report.naive_energy_per_access_pj:.2f} pJ)"
+    )
+    return 0
+
+
+def _cmd_buffer(args: argparse.Namespace) -> int:
+    from repro.transform import allocate_window, rewrite_with_buffer
+    from repro.transform.search import search_mws_2d, search_mws_3d
+
+    program = _load(args.file)
+    array = args.array or program.arrays[0]
+    transformation = None
+    if args.optimized:
+        depth = program.nest.depth
+        if depth == 2:
+            transformation = search_mws_2d(program, array).transformation
+        elif depth == 3:
+            transformation = search_mws_3d(program, array).transformation
+    alloc = allocate_window(program, array, transformation)
+    print(f"array {array}: declared={alloc.declared} MWS={alloc.mws} "
+          f"modulus={alloc.modulus} (overhead {100 * alloc.overhead:.0f}%)")
+    if transformation is None:
+        print()
+        print(rewrite_with_buffer(program, array, alloc))
+    return 0
+
+
+def _cmd_distribute(args: argparse.Namespace) -> int:
+    from repro.ir import generate_source
+    from repro.transform import distribute
+
+    program = _load(args.file)
+    sequence = distribute(program)
+    print(f"{len(sequence.programs)} nest(s) after distribution:")
+    for part in sequence.programs:
+        print()
+        print(generate_source(part), end="")
+    return 0
+
+
+def _cmd_viz(args: argparse.Namespace) -> int:
+    from repro.transform.legality import reuse_distances
+    from repro.viz import render_profile_bars, render_reuse_region
+    from repro.window import window_profile
+
+    program = _load(args.file)
+    array = args.array or program.arrays[0]
+    if program.nest.depth == 2:
+        distances = reuse_distances(program, array) if program.is_uniformly_generated(array) else []
+        if distances:
+            print(f"reuse region of {array} for distance {distances[0]}:")
+            print(render_reuse_region(program.nest, distances[0]))
+            print()
+    profile = window_profile(program, array)
+    print(render_profile_bars(profile.sizes, title=f"window of {array} over time"))
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from repro.kernels import KERNELS, kernel_by_name
+    from repro.reporting import figure2_row, render_table
+
+    if args.kernel:
+        specs = [kernel_by_name(args.kernel)]
+    else:
+        specs = list(KERNELS)
+    rows = [figure2_row(spec) for spec in specs]
+    print(render_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory-requirement analysis of nested loops (DAC 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="footprints and exact windows")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("dependences", help="distance vectors")
+    p.add_argument("file")
+    p.add_argument("--no-input", action="store_true", help="hide read-read reuse")
+    p.set_defaults(func=_cmd_dependences)
+
+    p = sub.add_parser("optimize", help="search the MWS-minimizing transformation")
+    p.add_argument("file")
+    p.add_argument("--codegen", action="store_true", help="emit transformed source")
+    p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser("size", help="provision an on-chip buffer")
+    p.add_argument("file")
+    p.add_argument("--optimized", action="store_true", help="size after optimization")
+    p.set_defaults(func=_cmd_size)
+
+    p = sub.add_parser("buffer", help="fold an array into a modulo window buffer")
+    p.add_argument("file")
+    p.add_argument("--array", help="array name (default: first referenced)")
+    p.add_argument("--optimized", action="store_true", help="allocate after the MWS search")
+    p.set_defaults(func=_cmd_buffer)
+
+    p = sub.add_parser("distribute", help="split the nest into a legal sequence")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_distribute)
+
+    p = sub.add_parser("viz", help="reuse region and window profile (ASCII)")
+    p.add_argument("file")
+    p.add_argument("--array", help="array name (default: first referenced)")
+    p.set_defaults(func=_cmd_viz)
+
+    p = sub.add_parser("figure2", help="regenerate the paper's results table")
+    p.add_argument("--kernel", help="one kernel only (e.g. sor)")
+    p.set_defaults(func=_cmd_figure2)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ParseError, FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

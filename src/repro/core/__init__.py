@@ -1,0 +1,28 @@
+"""The paper's end-to-end flow as one API.
+
+``analyze_program`` estimates distinct accesses and measures windows;
+``optimize_program`` searches for the legal unimodular transformation
+minimizing the total maximum window size; ``full_report`` runs both and
+attaches memory sizing.  These are the entry points the examples and the
+Figure-2 harness use.
+"""
+
+from repro.core.optimizer import (
+    OptimizationResult,
+    optimize_program,
+    candidate_transformations,
+)
+from repro.core.pipeline import (
+    AnalysisReport,
+    analyze_program,
+    full_report,
+)
+
+__all__ = [
+    "OptimizationResult",
+    "optimize_program",
+    "candidate_transformations",
+    "AnalysisReport",
+    "analyze_program",
+    "full_report",
+]

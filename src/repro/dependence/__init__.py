@@ -1,0 +1,47 @@
+"""Dependence and reuse analysis.
+
+The paper's main abstraction (Sections 2.1-2.2): for uniformly generated
+references, every dependence is a constant *distance vector*; the set of
+distance vectors drives both the distinct-access estimate (Section 3) and
+the legality/tileability constraints on transformations (Section 4).
+"""
+
+from repro.dependence.distance import (
+    is_lex_nonnegative,
+    is_lex_positive,
+    lex_level,
+    lex_negate_to_positive,
+)
+from repro.dependence.analysis import (
+    Dependence,
+    DependenceKind,
+    array_distance_vectors,
+    dependence_distance,
+    gcd_test,
+    program_dependences,
+    self_reuse_distance,
+)
+from repro.dependence.graph import dependence_graph
+from repro.dependence.reuse import (
+    reuse_vector,
+    reuse_vectors,
+    reuse_level,
+)
+
+__all__ = [
+    "is_lex_positive",
+    "is_lex_nonnegative",
+    "lex_level",
+    "lex_negate_to_positive",
+    "Dependence",
+    "DependenceKind",
+    "dependence_distance",
+    "self_reuse_distance",
+    "array_distance_vectors",
+    "program_dependences",
+    "gcd_test",
+    "dependence_graph",
+    "reuse_vector",
+    "reuse_vectors",
+    "reuse_level",
+]

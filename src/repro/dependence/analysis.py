@@ -1,0 +1,359 @@
+"""Dependence distance computation for affine references.
+
+For uniformly generated references ``A @ I + b1`` and ``A @ J + b2`` the
+same element is touched when ``A @ (J - I) = b1 - b2``; the solution set is
+``particular + kernel(A)`` and the paper takes the *smallest
+lexicographically positive* solution as the dependence vector
+(Section 4.2).  Non-uniform pairs generally have no constant distance; the
+:func:`gcd_test` provides the classic existence filter and
+:func:`iteration_pairs_sharing_element` the exact (enumerative) answer.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.dependence.distance import is_lex_positive, lex_level
+from repro.ir.loop import LoopNest
+from repro.ir.program import Program
+from repro.ir.reference import ArrayRef
+from repro.linalg import IntMatrix, integer_nullspace, solve_linear_diophantine
+from repro.linalg.gcd import ceil_div, gcd_list
+
+
+class DependenceKind(enum.Enum):
+    """Classification by the access kinds of source and sink."""
+
+    FLOW = "flow"  # write -> read
+    ANTI = "anti"  # read -> write
+    OUTPUT = "output"  # write -> write
+    INPUT = "input"  # read -> read (pure reuse; no ordering constraint)
+
+    @classmethod
+    def of(cls, src_is_write: bool, dst_is_write: bool) -> "DependenceKind":
+        if src_is_write and not dst_is_write:
+            return cls.FLOW
+        if not src_is_write and dst_is_write:
+            return cls.ANTI
+        if src_is_write and dst_is_write:
+            return cls.OUTPUT
+        return cls.INPUT
+
+    @property
+    def constrains_order(self) -> bool:
+        """Input dependences do not constrain legality."""
+        return self is not DependenceKind.INPUT
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A constant-distance dependence between two references.
+
+    ``reduction`` marks dependences between scalar-in-nest references
+    (all-zero access matrices, e.g. a SAD accumulator written every
+    iteration): any execution order conflicts on such a cell, and
+    compilers treat the associated updates as reorderable reductions, so
+    legality checks exclude them by default.
+    """
+
+    array: str
+    distance: tuple[int, ...]
+    kind: DependenceKind
+    source: ArrayRef
+    sink: ArrayRef
+    reduction: bool = False
+
+    @property
+    def level(self) -> int | None:
+        return lex_level(self.distance)
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.array} d={self.distance}"
+
+
+def _smallest_lex_positive_in_family(
+    particular: Sequence[int],
+    kernel: Sequence[tuple[int, ...]],
+    search_radius: int = 64,
+) -> tuple[int, ...] | None:
+    """Smallest lex-positive vector in ``particular + span_Z(kernel)``.
+
+    Exact closed-form walk for kernel dimension 0 and 1 (the cases arising
+    from the paper's ``d >= n-1`` arrays); bounded enumeration for higher
+    kernel dimensions.
+    """
+    p = tuple(particular)
+    if not kernel:
+        return p if is_lex_positive(p) else None
+    if len(kernel) == 1:
+        return _smallest_on_line(p, kernel[0])
+    # Higher-dimensional kernel: bounded search over coefficients, smallest
+    # lex-positive found.  Radius is ample for loop-sized distances.
+    best: tuple[int, ...] | None = None
+    coeff_range = range(-search_radius, search_radius + 1)
+    for coeffs in itertools.product(coeff_range, repeat=len(kernel)):
+        cand = tuple(
+            pv + sum(c * kv[k] for c, kv in zip(coeffs, kernel))
+            for k, pv in enumerate(p)
+        )
+        if is_lex_positive(cand) and (best is None or cand < best):
+            best = cand
+    return best
+
+
+def _smallest_on_line(
+    p: tuple[int, ...], direction: tuple[int, ...]
+) -> tuple[int, ...] | None:
+    """Smallest lex-positive point of ``{p + t*v : t in Z}``.
+
+    ``v`` is primitive and lex-positive (nullspace normalization), so the
+    lex order along the line is monotone increasing in ``t``; the first
+    component pins ``t`` up to one boundary case.
+    """
+    v = direction
+    lead = next((k for k, x in enumerate(v) if x != 0), None)
+    if lead is None:
+        return p if is_lex_positive(p) else None
+    # Components before `lead` are fixed by p.  A nonzero prefix decides
+    # positivity outright; the canonical representative reduces the
+    # component at `lead` to its smallest non-negative residue.
+    for x in p[:lead]:
+        if x > 0:
+            t = -math.floor(p[lead] / v[lead])
+            return tuple(pv + t * vv for pv, vv in zip(p, v))
+        if x < 0:
+            return None
+    # Prefix is all zero: positivity is decided from component `lead` on.
+    vl = v[lead]
+    pl = p[lead]
+    if vl > 0:
+        t0 = ceil_div(-pl, vl)  # smallest t with component >= 0
+    else:
+        # v was normalized lex-positive, so vl > 0 always; guard anyway.
+        t0 = -ceil_div(pl, -vl)
+    for t in (t0, t0 + 1):
+        cand = tuple(pv + t * vv for pv, vv in zip(p, v))
+        if is_lex_positive(cand):
+            return cand
+    return None
+
+
+def dependence_distance(
+    src: ArrayRef, dst: ArrayRef
+) -> tuple[int, ...] | None:
+    """Smallest lex-positive ``d`` with ``dst`` at ``I + d`` touching the
+    element ``src`` touches at ``I`` — or None.
+
+    Requires uniformly generated references (same access matrix); raises
+    otherwise, because no constant distance exists in general.
+    """
+    if not src.uniformly_generated_with(dst):
+        raise ValueError(
+            "dependence_distance requires uniformly generated references"
+        )
+    a = src.access
+    rhs = [bs - bd for bs, bd in zip(src.offset, dst.offset)]
+    particular = _particular_solution(a, rhs)
+    if particular is None:
+        return None
+    kernel = integer_nullspace(a)
+    return _smallest_lex_positive_in_family(particular, kernel)
+
+
+def self_reuse_distance(ref: ArrayRef) -> tuple[int, ...] | None:
+    """Smallest lex-positive ``d`` with ``A @ d = 0`` — the reuse vector of
+    a single reference (paper Example 4), or None for injective accesses."""
+    kernel = integer_nullspace(ref.access)
+    if not kernel:
+        return None
+    zero = tuple(0 for _ in range(ref.nest_depth))
+    return _smallest_lex_positive_in_family(zero, kernel)
+
+
+def _particular_solution(
+    a: IntMatrix, rhs: Sequence[int]
+) -> tuple[int, ...] | None:
+    """One integer solution of ``a @ x = rhs`` or None.
+
+    Via Smith normal form: ``S = U A V`` gives ``x = V y`` with
+    ``S y = U rhs`` solved diagonally.
+    """
+    from repro.linalg import smith_normal_form
+
+    s, u, v = smith_normal_form(a)
+    transformed = u.apply(rhs)
+    y = []
+    for k in range(a.n_cols):
+        diag = s[k, k] if k < s.n_rows and k < s.n_cols else 0
+        target = transformed[k] if k < len(transformed) else 0
+        if diag == 0:
+            if k < len(transformed) and transformed[k] != 0:
+                return None
+            y.append(0)
+        else:
+            if target % diag != 0:
+                return None
+            y.append(target // diag)
+    # Remaining rows of S (beyond n_cols) must be consistent.
+    for k in range(a.n_cols, s.n_rows):
+        if transformed[k] != 0:
+            return None
+    return v.apply(y)
+
+
+def gcd_test(src: ArrayRef, dst: ArrayRef) -> bool:
+    """Classic GCD existence test, per dimension, ignoring loop bounds.
+
+    True means a dependence *may* exist (the equation
+    ``src(I) = dst(J)`` has an integer solution dimension-wise); False
+    proves independence.  Works for non-uniformly generated pairs.
+    """
+    if src.array != dst.array:
+        return False
+    for dim in range(src.rank):
+        coeffs = list(src.access.row(dim)) + [-c for c in dst.access.row(dim)]
+        rhs = dst.offset[dim] - src.offset[dim]
+        g = gcd_list(coeffs)
+        if g == 0:
+            if rhs != 0:
+                return False
+        elif rhs % g != 0:
+            return False
+    return True
+
+
+def iteration_pairs_sharing_element(
+    nest: LoopNest, src: ArrayRef, dst: ArrayRef
+) -> Iterator[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Exact enumeration of iteration pairs ``(I, J)``, ``I`` lex-before
+    ``J``, where ``src`` at ``I`` and ``dst`` at ``J`` touch one element.
+
+    The oracle for non-uniform dependence questions; quadratic in the
+    iteration count, so use on paper-sized nests only.
+    """
+    by_element: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
+    for point in nest.iterate():
+        by_element.setdefault(src.element(point), []).append(point)
+    for point in nest.iterate():
+        for earlier in by_element.get(dst.element(point), ()):
+            if earlier < point:
+                yield earlier, point
+
+
+def array_distance_vectors(
+    program: Program, array: str, include_input: bool = True
+) -> list[tuple[int, ...]]:
+    """All distinct dependence distance vectors for one array.
+
+    Includes self-reuse distances (kernel directions) and pairwise
+    distances among uniformly generated references; zero (loop-independent)
+    vectors are excluded per the paper.  Raises for non-uniformly generated
+    arrays — callers should fall back to Section 3.2 bounds there.
+    """
+    deps = array_dependences(program, array, include_input=include_input)
+    seen: dict[tuple[int, ...], None] = {}
+    for dep in deps:
+        seen.setdefault(dep.distance, None)
+    return list(seen)
+
+
+def _endpoint_representative(
+    minimal: tuple[int, ...],
+    kernel_vector: tuple[int, ...],
+    spans: tuple[int, ...],
+) -> tuple[int, ...] | None:
+    """Largest in-bounds member of ``minimal + t * v`` (t >= 0).
+
+    Legality must hold for *every* lex-positive in-bounds member of a
+    dependence family, not only the minimal one.  ``T (p + t v)`` is
+    lex-monotone in ``t``, so checking the two in-bounds endpoints is
+    sound; this returns the far endpoint (the minimal representative is
+    the near one).
+    """
+    t_max: int | None = None
+    for p, v, span in zip(minimal, kernel_vector, spans):
+        if v == 0:
+            if abs(p) > span:
+                return None
+            continue
+        # |p + t v| <= span  =>  t in [(-span - p)/v, (span - p)/v] (v>0)
+        lo_num, hi_num = -span - p, span - p
+        if v > 0:
+            hi = hi_num // v
+        else:
+            hi = lo_num // v  # dividing by negative flips the interval
+        t_max = hi if t_max is None else min(t_max, hi)
+    if t_max is None or t_max <= 0:
+        return None
+    return tuple(p + t_max * v for p, v in zip(minimal, kernel_vector))
+
+
+def array_dependences(
+    program: Program, array: str, include_input: bool = True
+) -> list[Dependence]:
+    """All constant-distance dependences for one array (uniform refs only).
+
+    For dependence families with a kernel direction, both the minimal
+    lex-positive representative and the farthest in-bounds member are
+    emitted, so transformation-legality checks over the returned set are
+    sound (lex order along the family line is monotone).
+    """
+    refs = program.refs_to(array)
+    if not refs:
+        return []
+    if not program.is_uniformly_generated(array):
+        raise ValueError(
+            f"array {array} has non-uniformly generated references; "
+            "constant distance vectors do not exist"
+        )
+    spans = tuple(loop.span for loop in program.nest.loops)
+    out: list[Dependence] = []
+    seen: set[tuple] = set()
+
+    def emit(src: ArrayRef, dst: ArrayRef, distance: tuple[int, ...]) -> None:
+        kind = DependenceKind.of(src.is_write, dst.is_write)
+        if not include_input and kind is DependenceKind.INPUT:
+            return
+        key = (distance, kind)
+        if key in seen:
+            return
+        seen.add(key)
+        reduction = src.access.is_zero() and dst.access.is_zero()
+        out.append(Dependence(array, distance, kind, src, dst, reduction))
+
+    def emit_family(src: ArrayRef, dst: ArrayRef, minimal: tuple[int, ...]) -> None:
+        emit(src, dst, minimal)
+        kernel = integer_nullspace(src.access)
+        if len(kernel) == 1:
+            far = _endpoint_representative(minimal, kernel[0], spans)
+            if far is not None and far != minimal:
+                emit(src, dst, far)
+
+    for ref in refs:
+        d = self_reuse_distance(ref)
+        if d is not None:
+            emit_family(ref, ref, d)
+    for src, dst in itertools.permutations(refs, 2):
+        if src.offset == dst.offset and src is not dst:
+            # Same element in the same iteration: loop-independent; the
+            # kernel direction (if any) is already covered above.
+            continue
+        d = dependence_distance(src, dst)
+        if d is not None and any(v != 0 for v in d):
+            emit_family(src, dst, d)
+    return out
+
+
+def program_dependences(
+    program: Program, include_input: bool = True
+) -> list[Dependence]:
+    """Dependences across all uniformly generated arrays of the program."""
+    out: list[Dependence] = []
+    for array in program.arrays:
+        if program.is_uniformly_generated(array):
+            out.extend(array_dependences(program, array, include_input))
+    return out

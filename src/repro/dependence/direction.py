@@ -1,0 +1,178 @@
+"""Direction vectors — the coarser dependence abstraction.
+
+Where a distance vector records exact offsets, a direction vector keeps
+only the per-level sign: ``<`` (positive), ``=`` (zero), ``>``
+(negative), ``*`` (unknown/any).  Directions summarize whole dependence
+*families* — including the non-uniform cases where no constant distance
+exists — and still support the two questions transformations ask:
+is the dependence lexicographically positive, and does a transformation
+row keep it non-negative?
+
+Directions compose with unimodular rows by interval arithmetic: each
+component contributes a sign interval, and the row's dot product is the
+interval sum — conservative but sound.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.ir.loop import LoopNest
+from repro.ir.reference import ArrayRef
+
+
+class Direction(enum.Enum):
+    """One component of a direction vector."""
+
+    LT = "<"   # sink iteration greater: positive distance component
+    EQ = "="   # zero component
+    GT = ">"   # negative component
+    ANY = "*"  # unknown
+
+    @classmethod
+    def of(cls, value: int) -> "Direction":
+        if value > 0:
+            return cls.LT
+        if value < 0:
+            return cls.GT
+        return cls.EQ
+
+    @property
+    def sign_interval(self) -> tuple[int, int]:
+        """(min_sign, max_sign) with -1/0/+1 encoding."""
+        return {
+            Direction.LT: (1, 1),
+            Direction.EQ: (0, 0),
+            Direction.GT: (-1, -1),
+            Direction.ANY: (-1, 1),
+        }[self]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class DirectionVector:
+    """A per-level direction summary of a dependence family."""
+
+    components: tuple[Direction, ...]
+
+    @classmethod
+    def from_distance(cls, distance: Sequence[int]) -> "DirectionVector":
+        """Collapse one concrete distance to directions.
+
+        >>> str(DirectionVector.from_distance((3, 0, -2)))
+        '(<, =, >)'
+        """
+        return cls(tuple(Direction.of(v) for v in distance))
+
+    @classmethod
+    def from_distances(cls, distances: Iterable[Sequence[int]]) -> "DirectionVector":
+        """Join several distances of one family (component-wise merge)."""
+        merged: list[Direction] | None = None
+        for d in distances:
+            dirs = [Direction.of(v) for v in d]
+            if merged is None:
+                merged = dirs
+            else:
+                merged = [
+                    a if a == b else Direction.ANY for a, b in zip(merged, dirs)
+                ]
+        if merged is None:
+            raise ValueError("no distances to merge")
+        return cls(tuple(merged))
+
+    @property
+    def depth(self) -> int:
+        return len(self.components)
+
+    def is_lex_positive_definitely(self) -> bool:
+        """True when every family member is lexicographically positive."""
+        for comp in self.components:
+            if comp is Direction.LT:
+                return True
+            if comp is Direction.EQ:
+                continue
+            return False  # GT or ANY before any LT: a member may violate
+        return False
+
+    def may_be_lex_negative(self) -> bool:
+        return not self.is_lex_positive_definitely()
+
+    def level(self) -> int | None:
+        """First definitely-nonzero level, if determinable."""
+        for k, comp in enumerate(self.components):
+            if comp is Direction.LT or comp is Direction.GT:
+                return k + 1
+            if comp is Direction.ANY:
+                return None
+        return None
+
+    def row_dot_interval(
+        self, row: Sequence[int], spans: Sequence[int]
+    ) -> tuple[int, int]:
+        """Sound interval for ``row . d`` over all family members.
+
+        Components contribute ``coeff * [lo, hi]`` where the magnitude
+        range comes from the loop spans: LT gives ``[1, span]``, GT
+        ``[-span, -1]``, EQ ``[0, 0]``, ANY ``[-span, span]``.
+        """
+        if len(row) != self.depth or len(spans) != self.depth:
+            raise ValueError("arity mismatch")
+        lo_total = hi_total = 0
+        for coeff, comp, span in zip(row, self.components, spans):
+            if comp is Direction.LT:
+                lo, hi = 1, span
+            elif comp is Direction.GT:
+                lo, hi = -span, -1
+            elif comp is Direction.EQ:
+                lo, hi = 0, 0
+            else:
+                lo, hi = -span, span
+            candidates = (coeff * lo, coeff * hi)
+            lo_total += min(candidates)
+            hi_total += max(candidates)
+        return lo_total, hi_total
+
+    def row_keeps_nonnegative(
+        self, row: Sequence[int], spans: Sequence[int]
+    ) -> bool:
+        """Does ``row . d >= 0`` hold for every member (conservatively)?"""
+        lo, _ = self.row_dot_interval(row, spans)
+        return lo >= 0
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(c) for c in self.components) + ")"
+
+
+def nonuniform_direction(
+    nest: LoopNest, src: ArrayRef, dst: ArrayRef, sample_cap: int = 20_000
+) -> DirectionVector | None:
+    """Direction summary for a (possibly non-uniform) reference pair.
+
+    Enumerates iteration pairs sharing an element (exact on paper-sized
+    nests; bails to all-ANY beyond ``sample_cap`` pairs) and merges their
+    difference vectors.  Returns None when no dependence exists at all.
+    """
+    from repro.dependence.analysis import iteration_pairs_sharing_element
+
+    merged: DirectionVector | None = None
+    count = 0
+    for earlier, later in iteration_pairs_sharing_element(nest, src, dst):
+        delta = tuple(b - a for a, b in zip(earlier, later))
+        current = DirectionVector.from_distance(delta)
+        if merged is None:
+            merged = current
+        else:
+            merged = DirectionVector(
+                tuple(
+                    a if a == b else Direction.ANY
+                    for a, b in zip(merged.components, current.components)
+                )
+            )
+        count += 1
+        if count >= sample_cap:
+            return DirectionVector(tuple(Direction.ANY for _ in range(nest.depth)))
+    return merged

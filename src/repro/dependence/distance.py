@@ -1,0 +1,67 @@
+"""Lexicographic order utilities on integer vectors.
+
+A dependence vector must be lexicographically positive — the first nonzero
+component positive — because the source iteration executes before the sink
+(paper Section 2.1).  The *level* of a vector is the 1-based index of that
+first nonzero component; level-``k`` dependences are "carried" by loop
+``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def is_lex_positive(vector: Sequence[int]) -> bool:
+    """First nonzero component is positive; the zero vector is not positive.
+
+    >>> is_lex_positive((0, 3, -1))
+    True
+    >>> is_lex_positive((0, 0))
+    False
+    """
+    for v in vector:
+        if v != 0:
+            return v > 0
+    return False
+
+
+def is_lex_nonnegative(vector: Sequence[int]) -> bool:
+    """Lex positive or zero."""
+    for v in vector:
+        if v != 0:
+            return v > 0
+    return True
+
+
+def lex_level(vector: Sequence[int]) -> int | None:
+    """1-based index of the first nonzero component; None for the zero vector.
+
+    >>> lex_level((0, 3, -1))
+    2
+    """
+    for k, v in enumerate(vector):
+        if v != 0:
+            return k + 1
+    return None
+
+
+def lex_negate_to_positive(vector: Sequence[int]) -> tuple[int, ...]:
+    """Return the vector or its negation, whichever is lex non-negative.
+
+    Reuse is symmetric (if ``I`` and ``J`` touch the same element, so do
+    ``J`` and ``I``); dependence direction picks the positive
+    representative.
+    """
+    vec = tuple(vector)
+    return vec if is_lex_nonnegative(vec) else tuple(-v for v in vec)
+
+
+def lex_compare(a: Sequence[int], b: Sequence[int]) -> int:
+    """-1, 0 or 1 as ``a`` lexicographically precedes, equals or follows ``b``."""
+    if len(a) != len(b):
+        raise ValueError("length mismatch")
+    for x, y in zip(a, b):
+        if x != y:
+            return -1 if x < y else 1
+    return 0

@@ -1,0 +1,101 @@
+"""Program-level memory estimation — the paper's "algorithm that computes
+the total memory required".
+
+Two notions, both reported:
+
+* the *footprint* — total distinct elements accessed (Section 3's
+  ``A_d``, summed over arrays): memory needed if every touched element
+  must reside on-chip for the whole execution;
+* the *declared default* — what the source code allocates (Figure 2's
+  ``default`` column).
+
+The sharper live-window number (MWS) lives in :mod:`repro.window`; the
+report here optionally includes it so one call produces the full Figure-2
+row for a program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.estimation.distinct import (
+    DistinctAccessEstimate,
+    estimate_distinct_accesses,
+)
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class ArrayMemoryReport:
+    """Per-array memory numbers."""
+
+    array: str
+    declared: int
+    estimate: DistinctAccessEstimate
+
+    @property
+    def footprint(self) -> int:
+        return self.estimate.value
+
+    @property
+    def saving_vs_declared(self) -> float:
+        """Fraction of the declaration never touched."""
+        if self.declared == 0:
+            return 0.0
+        return 1.0 - self.footprint / self.declared
+
+
+@dataclass(frozen=True)
+class ProgramMemoryReport:
+    """Aggregate memory numbers for a whole program."""
+
+    program: str
+    arrays: tuple[ArrayMemoryReport, ...]
+
+    @property
+    def declared_total(self) -> int:
+        return sum(a.declared for a in self.arrays)
+
+    @property
+    def footprint_total(self) -> int:
+        return sum(a.footprint for a in self.arrays)
+
+    @property
+    def footprint_bounds(self) -> tuple[int, int]:
+        return (
+            sum(a.estimate.lower for a in self.arrays),
+            sum(a.estimate.upper for a in self.arrays),
+        )
+
+    @property
+    def all_exact(self) -> bool:
+        return all(a.estimate.exact for a in self.arrays)
+
+    def __str__(self) -> str:
+        lines = [f"program {self.program}: declared={self.declared_total}"]
+        for a in self.arrays:
+            lines.append(f"  {a.estimate} (declared {a.declared})")
+        lines.append(f"  footprint total = {self.footprint_total}")
+        return "\n".join(lines)
+
+
+def estimate_program_memory(program: Program) -> ProgramMemoryReport:
+    """Estimate the distinct-access footprint of every array.
+
+    >>> from repro.ir import parse_program
+    >>> p = parse_program('''
+    ... for i = 1 to 10 {
+    ...   for j = 1 to 10 {
+    ...     A[i][j] = A[i-1][j+2]
+    ...   }
+    ... }
+    ... ''', name="example2")
+    >>> estimate_program_memory(p).footprint_total
+    128
+    """
+    reports = []
+    for array in program.arrays:
+        decl = program.decl(array)
+        estimate = estimate_distinct_accesses(program, array)
+        reports.append(ArrayMemoryReport(array, decl.declared_size, estimate))
+    return ProgramMemoryReport(program.name, tuple(reports))

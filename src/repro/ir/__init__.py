@@ -1,0 +1,50 @@
+"""Loop-nest intermediate representation.
+
+The paper's program model (Section 2): a *perfectly nested* loop — every
+statement inside the innermost loop — with loop bounds and array subscript
+expressions that are affine in the enclosing loop indices.  Each reference
+to a ``d``-dimensional array ``U`` is ``U[A @ I + b]`` for an access matrix
+``A`` (``d x n``) and offset vector ``b``.
+
+The IR here is deliberately concrete: rectangular integer bounds (what the
+paper's estimation formulas assume), exact integer access matrices, and an
+explicit sequential iteration order.  A parser (``repro.ir.parser``) builds
+the IR from a small C-like syntax; a code generator (``repro.ir.codegen``)
+re-emits source, including transformed nests whose bounds come from
+Fourier-Motzkin elimination.
+"""
+
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.array import ArrayDecl
+from repro.ir.reference import AccessKind, ArrayRef
+from repro.ir.statement import Statement
+from repro.ir.program import Program
+from repro.ir.builder import NestBuilder
+from repro.ir.parser import ParseError, parse_program
+from repro.ir.codegen import generate_source, generate_transformed_source
+from repro.ir.sequence import ProgramSequence, SequenceMemoryReport, sequence_memory_report
+from repro.ir.interpreter import execute, initial_state, states_equal
+from repro.ir.generate import GeneratorConfig, random_program
+
+__all__ = [
+    "Loop",
+    "LoopNest",
+    "ArrayDecl",
+    "AccessKind",
+    "ArrayRef",
+    "Statement",
+    "Program",
+    "NestBuilder",
+    "ParseError",
+    "parse_program",
+    "generate_source",
+    "generate_transformed_source",
+    "ProgramSequence",
+    "SequenceMemoryReport",
+    "sequence_memory_report",
+    "execute",
+    "initial_state",
+    "states_equal",
+    "GeneratorConfig",
+    "random_program",
+]

@@ -1,0 +1,71 @@
+"""Array declarations.
+
+The "default" column of the paper's Figure 2 is the number of *declared*
+array elements — the memory a naive allocation would reserve.  The whole
+point of the paper is that the live window is usually far smaller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A ``d``-dimensional array with per-dimension index ranges.
+
+    ``origins[k] <= index_k <= origins[k] + extents[k] - 1``.  Origins
+    default to zero-based; stencils that read ``A[i-1]`` with ``i`` from 1
+    typically want an origin of 0 and an extent covering the halo.
+    """
+
+    name: str
+    extents: tuple[int, ...]
+    origins: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ValueError(f"invalid array name {self.name!r}")
+        if not self.extents:
+            raise ValueError("array needs at least one dimension")
+        if any(e <= 0 for e in self.extents):
+            raise ValueError(f"non-positive extent in {self.extents}")
+        origins = self.origins if self.origins else tuple(0 for _ in self.extents)
+        if len(origins) != len(self.extents):
+            raise ValueError("origins/extents rank mismatch")
+        object.__setattr__(self, "origins", origins)
+
+    @classmethod
+    def of(cls, name: str, *extents: int, origins: Sequence[int] | None = None) -> "ArrayDecl":
+        """Convenience constructor: ``ArrayDecl.of("A", 10, 10)``."""
+        return cls(name, tuple(extents), tuple(origins) if origins else ())
+
+    @property
+    def rank(self) -> int:
+        """Dimensionality ``d``."""
+        return len(self.extents)
+
+    @property
+    def declared_size(self) -> int:
+        """Total declared elements — Figure 2's ``default`` column."""
+        out = 1
+        for e in self.extents:
+            out *= e
+        return out
+
+    def in_bounds(self, element: Sequence[int]) -> bool:
+        """Is an element index tuple within the declaration?"""
+        if len(element) != self.rank:
+            return False
+        return all(
+            o <= x <= o + e - 1
+            for x, o, e in zip(element, self.origins, self.extents)
+        )
+
+    def __str__(self) -> str:
+        dims = "".join(
+            f"[{o}:{o + e - 1}]" if o != 0 else f"[{e}]"
+            for o, e in zip(self.origins, self.extents)
+        )
+        return f"{self.name}{dims}"

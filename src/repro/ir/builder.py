@@ -1,0 +1,95 @@
+"""Fluent builder for constructing loop-nest programs in code.
+
+The parser covers textual input; this builder is the ergonomic API for
+tests, kernels and examples:
+
+>>> from repro.ir import NestBuilder
+>>> prog = (
+...     NestBuilder("example2")
+...     .loop("i", 1, 10)
+...     .loop("j", 1, 10)
+...     .statement("S1", write=("A", [[1, 0], [0, 1]], [0, 0]))
+...     .statement("S2", reads=[("A", [[1, 0], [0, 1]], [-1, 2])])
+...     .build()
+... )
+>>> prog.nest.depth
+2
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.array import ArrayDecl
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.program import Program
+from repro.ir.reference import AccessKind, ArrayRef
+from repro.ir.statement import Statement
+
+RefSpec = tuple  # (array_name, access_rows, offset)
+
+
+def _make_ref(spec: "RefSpec | ArrayRef", kind: AccessKind) -> ArrayRef:
+    if isinstance(spec, ArrayRef):
+        return spec.with_kind(kind)
+    array, access_rows, offset = spec
+    return ArrayRef.of(array, access_rows, offset, kind)
+
+
+class NestBuilder:
+    """Accumulates loops, statements and declarations, then validates."""
+
+    def __init__(self, name: str = "program"):
+        self._name = name
+        self._loops: list[Loop] = []
+        self._statements: list[Statement] = []
+        self._decls: list[ArrayDecl] = []
+        self._auto_label = 0
+
+    def loop(self, index: str, lower: int, upper: int) -> "NestBuilder":
+        """Append a loop level (outermost first)."""
+        self._loops.append(Loop(index, lower, upper))
+        return self
+
+    def loops(self, *specs: tuple[str, int, int]) -> "NestBuilder":
+        """Append several loop levels at once."""
+        for index, lower, upper in specs:
+            self.loop(index, lower, upper)
+        return self
+
+    def declare(self, name: str, *extents: int, origins: Sequence[int] | None = None) -> "NestBuilder":
+        """Add an explicit array declaration (otherwise inferred)."""
+        self._decls.append(ArrayDecl.of(name, *extents, origins=origins))
+        return self
+
+    def statement(
+        self,
+        label: str | None = None,
+        write: "RefSpec | ArrayRef | None" = None,
+        reads: Sequence["RefSpec | ArrayRef"] = (),
+    ) -> "NestBuilder":
+        """Append one assignment statement.
+
+        ``write``/``reads`` entries are either ``ArrayRef`` objects or
+        ``(array, access_rows, offset)`` triples.
+        """
+        if label is None:
+            self._auto_label += 1
+            label = f"S{self._auto_label}"
+        write_ref = None if write is None else _make_ref(write, AccessKind.WRITE)
+        read_refs = [_make_ref(r, AccessKind.READ) for r in reads]
+        self._statements.append(Statement.assign(label, write_ref, read_refs))
+        return self
+
+    def use(self, label: str | None = None, *refs: "RefSpec | ArrayRef") -> "NestBuilder":
+        """Append a pure-use statement (reads only, e.g. ``... = A[i][j]``)."""
+        return self.statement(label, write=None, reads=list(refs))
+
+    def build(self) -> Program:
+        """Validate and produce the Program."""
+        return Program(
+            LoopNest(self._loops),
+            self._statements,
+            self._decls,
+            name=self._name,
+        )

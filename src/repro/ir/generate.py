@@ -1,0 +1,92 @@
+"""Random affine program generation for fuzzing and ablations.
+
+Deterministic given a seed.  The generator produces programs inside the
+paper's model — rectangular perfect nests, affine references — with
+dials for depth, trip counts, reference counts, array ranks and
+uniformity, so property tests can target specific analysis regimes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ir.builder import NestBuilder
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Dials for the random program generator."""
+
+    depth: int = 2
+    min_trip: int = 3
+    max_trip: int = 10
+    max_statements: int = 3
+    max_coeff: int = 3
+    max_offset: int = 4
+    array_rank: int | None = None  # None: random in [1, depth]
+    uniform_only: bool = True
+    allow_writes: bool = True
+
+
+def random_program(seed: int, config: GeneratorConfig | None = None) -> Program:
+    """Generate one random program.
+
+    Uniform mode shares a single access matrix per array (the paper's
+    uniformly generated assumption); non-uniform mode draws a fresh
+    matrix per reference.
+    """
+    cfg = config or GeneratorConfig()
+    rng = random.Random(seed)
+    builder = NestBuilder(f"fuzz{seed}")
+    for level in range(cfg.depth):
+        trip = rng.randint(cfg.min_trip, cfg.max_trip)
+        builder.loop(f"i{level + 1}", 1, trip)
+
+    def random_access(rank: int) -> list[list[int]]:
+        while True:
+            rows = [
+                [rng.randint(-cfg.max_coeff, cfg.max_coeff) for _ in range(cfg.depth)]
+                for _ in range(rank)
+            ]
+            if any(any(v != 0 for v in row) for row in rows):
+                return rows
+
+    n_arrays = rng.randint(1, 2)
+    arrays = []
+    for k in range(n_arrays):
+        rank = cfg.array_rank or rng.randint(1, cfg.depth)
+        arrays.append((f"A{k}", rank, random_access(rank)))
+
+    n_statements = rng.randint(1, cfg.max_statements)
+    for s in range(n_statements):
+        name, rank, access = arrays[rng.randrange(len(arrays))]
+        if not cfg.uniform_only:
+            access = random_access(rank)
+        offset = [rng.randint(-cfg.max_offset, cfg.max_offset) for _ in range(rank)]
+        read_specs = []
+        n_reads = rng.randint(1, 2)
+        for _ in range(n_reads):
+            rname, rrank, raccess = arrays[rng.randrange(len(arrays))]
+            if not cfg.uniform_only:
+                raccess = random_access(rrank)
+            roffset = [
+                rng.randint(-cfg.max_offset, cfg.max_offset) for _ in range(rrank)
+            ]
+            read_specs.append((rname, raccess, roffset))
+        if cfg.allow_writes and rng.random() < 0.7:
+            builder.statement(f"S{s + 1}", write=(name, access, offset), reads=read_specs)
+        else:
+            builder.use(f"S{s + 1}", *read_specs)
+    return builder.build()
+
+
+def random_uniform_program(seed: int, depth: int = 2) -> Program:
+    """Shorthand: uniformly generated references only."""
+    return random_program(seed, GeneratorConfig(depth=depth, uniform_only=True))
+
+
+def random_nonuniform_program(seed: int, depth: int = 2) -> Program:
+    """Shorthand: per-reference access matrices (non-uniform regime)."""
+    return random_program(seed, GeneratorConfig(depth=depth, uniform_only=False))

@@ -1,0 +1,372 @@
+"""A small C-like front end for loop-nest programs.
+
+Grammar (informal)::
+
+    program   := decl* loop
+    decl      := "array" NAME dims NEWLINE
+    dims      := ("[" INT "]" | "[" INT ":" INT "]")+
+    loop      := "for" NAME "=" INT "to" INT "{" (loop | stmt+) "}"
+    stmt      := [LABEL ":"] [ref "="] expr
+    ref       := NAME ("[" affine "]")+
+    affine    := ["+"|"-"] term (("+"|"-") term)*
+    term      := INT ["*" NAME] | NAME ["*" INT] | "(" affine ")" | INT "*" "(" affine ")"
+
+Only the structure the paper's model needs is understood: perfectly
+nested unit-stride loops with integer bounds, and statements whose array
+subscripts are affine in the loop indices.  Arithmetic between references
+on the right-hand side is treated as opaque glue — the analysis only needs
+which elements are read and written.
+
+>>> prog = parse_program('''
+... for i = 1 to 10 {
+...   for j = 1 to 10 {
+...     S1: A[i][j] = A[i-3][j+2] + 1
+...   }
+... }
+... ''')
+>>> prog.nest.trip_counts
+(10, 10)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.ir.array import ArrayDecl
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.program import Program
+from repro.ir.reference import AccessKind, ArrayRef
+from repro.ir.statement import Statement
+from repro.linalg import IntMatrix
+
+
+class ParseError(ValueError):
+    """Raised with a line/column-annotated message on malformed input."""
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # NAME | INT | OP | NEWLINE | EOF
+    text: str
+    line: int
+    col: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<COMMENT>\#[^\n]*|//[^\n]*)
+  | (?P<NAME>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<INT>\d+)
+  | (?P<OP>[\[\]{}()=+\-*:;,])
+  | (?P<NEWLINE>\n)
+  | (?P<SKIP>[ \t\r]+)
+  | (?P<BAD>.)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    line = 1
+    line_start = 0
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        value = match.group()
+        col = match.start() - line_start + 1
+        if kind == "NEWLINE":
+            tokens.append(_Token("NEWLINE", value, line, col))
+            line += 1
+            line_start = match.end()
+        elif kind in ("SKIP", "COMMENT"):
+            continue
+        elif kind == "BAD":
+            raise ParseError(f"line {line}:{col}: unexpected character {value!r}")
+        else:
+            tokens.append(_Token(kind, value, line, col))
+    tokens.append(_Token("EOF", "", line, 1))
+    return tokens
+
+
+@dataclass
+class _Affine:
+    """An affine expression: coefficient per index name + constant."""
+
+    coeffs: dict
+    const: int
+
+    def __add__(self, other: "_Affine") -> "_Affine":
+        coeffs = dict(self.coeffs)
+        for name, c in other.coeffs.items():
+            coeffs[name] = coeffs.get(name, 0) + c
+        return _Affine(coeffs, self.const + other.const)
+
+    def __neg__(self) -> "_Affine":
+        return _Affine({k: -v for k, v in self.coeffs.items()}, -self.const)
+
+    def scaled(self, k: int) -> "_Affine":
+        return _Affine({name: k * c for name, c in self.coeffs.items()}, k * self.const)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.decls: list[ArrayDecl] = []
+        self.loops: list[Loop] = []
+        # Stride normalization: original index = mult * new index + shift.
+        self.loop_subs: dict[str, tuple[int, int]] = {}
+        self.statements: list[Statement] = []
+        self.auto_label = 0
+
+    # -- token helpers -------------------------------------------------
+    def peek(self, skip_newlines: bool = True) -> _Token:
+        pos = self.pos
+        while skip_newlines and self.tokens[pos].kind == "NEWLINE":
+            pos += 1
+        return self.tokens[pos]
+
+    def next(self, skip_newlines: bool = True) -> _Token:
+        while skip_newlines and self.tokens[self.pos].kind == "NEWLINE":
+            self.pos += 1
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"line {tok.line}:{tok.col}: expected {want!r}, got {tok.text!r}"
+            )
+        return tok
+
+    def error(self, tok: _Token, message: str) -> ParseError:
+        return ParseError(f"line {tok.line}:{tok.col}: {message}")
+
+    # -- grammar -------------------------------------------------------
+    def parse(self, name: str) -> Program:
+        while self.peek().kind == "NAME" and self.peek().text == "array":
+            self.parse_decl()
+        if not (self.peek().kind == "NAME" and self.peek().text == "for"):
+            raise self.error(self.peek(), "expected a 'for' loop")
+        self.parse_loop()
+        if self.peek().kind != "EOF":
+            raise self.error(self.peek(), "trailing input after loop nest")
+        return Program(LoopNest(self.loops), self.statements, self.decls, name=name)
+
+    def parse_decl(self) -> None:
+        self.expect("NAME", "array")
+        name = self.expect("NAME").text
+        extents = []
+        origins = []
+        while self.peek().kind == "OP" and self.peek().text == "[":
+            self.next()
+            first = self.parse_signed_int()
+            if self.peek().text == ":":
+                self.next()
+                last = self.parse_signed_int()
+                origins.append(first)
+                extents.append(last - first + 1)
+            else:
+                origins.append(0)
+                extents.append(first)
+            self.expect("OP", "]")
+        if not extents:
+            raise self.error(self.peek(), f"array {name} needs dimensions")
+        self.decls.append(ArrayDecl(name, tuple(extents), tuple(origins)))
+
+    def parse_signed_int(self) -> int:
+        tok = self.next()
+        sign = 1
+        if tok.kind == "OP" and tok.text in "+-":
+            sign = -1 if tok.text == "-" else 1
+            tok = self.next()
+        if tok.kind != "INT":
+            raise self.error(tok, f"expected an integer, got {tok.text!r}")
+        return sign * int(tok.text)
+
+    def parse_loop(self) -> None:
+        self.expect("NAME", "for")
+        index = self.expect("NAME").text
+        self.expect("OP", "=")
+        lower = self.parse_signed_int()
+        self.expect("NAME", "to")
+        upper = self.parse_signed_int()
+        step = 1
+        if self.peek().kind == "NAME" and self.peek().text == "step":
+            self.next()
+            step = self.parse_signed_int()
+            if step <= 0:
+                raise self.error(self.peek(), "step must be positive")
+        try:
+            if step == 1:
+                self.loops.append(Loop(index, lower, upper))
+                self.loop_subs[index] = (1, 0)
+            else:
+                # Normalize: i = lower + step*(k - 1); k runs 1..trip.
+                if lower > upper:
+                    raise ValueError(
+                        f"empty loop {index}: lower {lower} > upper {upper}"
+                    )
+                trip = (upper - lower) // step + 1
+                self.loops.append(Loop(index, 1, trip))
+                self.loop_subs[index] = (step, lower - step)
+        except ValueError as exc:
+            raise self.error(self.peek(), str(exc)) from exc
+        self.expect("OP", "{")
+        if self.peek().kind == "NAME" and self.peek().text == "for":
+            self.parse_loop()
+        else:
+            while not (self.peek().kind == "OP" and self.peek().text == "}"):
+                self.parse_statement()
+        self.expect("OP", "}")
+
+    def parse_statement(self) -> None:
+        while self.tokens[self.pos].kind == "NEWLINE":
+            self.pos += 1
+        tok = self.peek()
+        if tok.kind == "EOF":
+            raise self.error(tok, "unterminated loop body")
+        label = None
+        # Optional "LABEL :" prefix (a name followed by ':' not inside [...]).
+        if tok.kind == "NAME":
+            save = self.pos
+            name_tok = self.next()
+            if self.peek(skip_newlines=False).text == ":":
+                self.next()
+                label = name_tok.text
+            else:
+                self.pos = save
+        if label is None:
+            self.auto_label += 1
+            label = f"S{self.auto_label}"
+
+        first_ref, first_is_ref = self.parse_ref_or_skip()
+        write_ref = None
+        reads: list[ArrayRef] = []
+        if first_is_ref and self.peek(skip_newlines=False).text == "=":
+            self.next()
+            write_ref = first_ref
+        elif first_ref is not None:
+            reads.append(first_ref)
+        # Consume the rest of the statement up to end-of-line or ';' or '}'.
+        while True:
+            tok = self.peek(skip_newlines=False)
+            if tok.kind in ("NEWLINE", "EOF"):
+                if tok.kind == "NEWLINE":
+                    self.next(skip_newlines=False)
+                break
+            if tok.kind == "OP" and tok.text == ";":
+                self.next()
+                break
+            if tok.kind == "OP" and tok.text == "}":
+                break
+            ref, is_ref = self.parse_ref_or_skip()
+            if is_ref:
+                reads.append(ref)
+        self.statements.append(Statement.assign(label, write_ref, reads))
+
+    def parse_ref_or_skip(self) -> tuple[ArrayRef | None, bool]:
+        """Parse one array reference if the next tokens form one; otherwise
+        consume a single non-reference token and return (None, False)."""
+        tok = self.peek(skip_newlines=False)
+        if tok.kind == "NAME":
+            save = self.pos
+            name_tok = self.next()
+            if self.peek(skip_newlines=False).text == "[":
+                subscripts = []
+                while self.peek(skip_newlines=False).text == "[":
+                    self.next()
+                    subscripts.append(self.parse_affine())
+                    self.expect("OP", "]")
+                return self.make_ref(name_tok, subscripts), True
+            self.pos = save
+        self.next(skip_newlines=False)
+        return None, False
+
+    def make_ref(self, name_tok: _Token, subscripts: list[_Affine]) -> ArrayRef:
+        index_names = [lp.index for lp in self.loops]
+        rows = []
+        offset = []
+        for sub in subscripts:
+            unknown = set(sub.coeffs) - set(index_names)
+            if unknown:
+                raise self.error(
+                    name_tok,
+                    f"subscript of {name_tok.text} uses non-loop names {sorted(unknown)}",
+                )
+            row = []
+            const = sub.const
+            for ix in index_names:
+                coeff = sub.coeffs.get(ix, 0)
+                mult, shift = self.loop_subs.get(ix, (1, 0))
+                row.append(coeff * mult)
+                const += coeff * shift
+            rows.append(row)
+            offset.append(const)
+        return ArrayRef(name_tok.text, IntMatrix(rows), tuple(offset), AccessKind.READ)
+
+    def parse_affine(self) -> _Affine:
+        expr = self.parse_affine_term()
+        while self.peek(skip_newlines=False).text in ("+", "-"):
+            op = self.next().text
+            term = self.parse_affine_term()
+            expr = expr + (term if op == "+" else -term)
+        return expr
+
+    def parse_affine_term(self) -> _Affine:
+        tok = self.next(skip_newlines=False)
+        sign = 1
+        while tok.kind == "OP" and tok.text in "+-":
+            if tok.text == "-":
+                sign = -sign
+            tok = self.next(skip_newlines=False)
+        if tok.kind == "OP" and tok.text == "(":
+            inner = self.parse_affine()
+            self.expect("OP", ")")
+            base = inner
+        elif tok.kind == "INT":
+            base = _Affine({}, int(tok.text))
+        elif tok.kind == "NAME":
+            base = _Affine({tok.text: 1}, 0)
+        else:
+            raise self.error(tok, f"unexpected {tok.text!r} in subscript")
+        # Optional "* factor" chain; at most one side may be non-constant.
+        while self.peek(skip_newlines=False).text == "*":
+            self.next()
+            factor = self.parse_affine_factor()
+            base = self.multiply(base, factor, tok)
+        return base.scaled(sign)
+
+    def parse_affine_factor(self) -> _Affine:
+        tok = self.next(skip_newlines=False)
+        sign = 1
+        while tok.kind == "OP" and tok.text in "+-":
+            if tok.text == "-":
+                sign = -sign
+            tok = self.next(skip_newlines=False)
+        if tok.kind == "OP" and tok.text == "(":
+            inner = self.parse_affine()
+            self.expect("OP", ")")
+            return inner.scaled(sign)
+        if tok.kind == "INT":
+            return _Affine({}, sign * int(tok.text))
+        if tok.kind == "NAME":
+            return _Affine({tok.text: sign}, 0)
+        raise self.error(tok, f"unexpected {tok.text!r} in subscript")
+
+    def multiply(self, a: _Affine, b: _Affine, at: _Token) -> _Affine:
+        if not a.coeffs:
+            return b.scaled(a.const)
+        if not b.coeffs:
+            return a.scaled(b.const)
+        raise self.error(at, "non-affine subscript (product of two index expressions)")
+
+
+def parse_program(text: str, name: str = "program") -> Program:
+    """Parse source text into a :class:`~repro.ir.program.Program`."""
+    return _Parser(text).parse(name)

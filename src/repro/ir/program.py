@@ -1,0 +1,193 @@
+"""The top-level Program object: a perfect loop nest plus its statements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.ir.array import ArrayDecl
+from repro.ir.loop import LoopNest
+from repro.ir.reference import ArrayRef
+from repro.ir.statement import Statement
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One dynamic array access: iteration ``time`` touching ``element``.
+
+    ``time`` is the 0-based sequential position of the iteration vector;
+    ``ordinal`` breaks ties within one iteration (statement order, reads
+    before writes within a statement).
+    """
+
+    time: int
+    ordinal: int
+    iteration: tuple[int, ...]
+    ref: ArrayRef
+    element: tuple[int, ...]
+
+
+class Program:
+    """A perfectly nested affine loop program.
+
+    Parameters
+    ----------
+    nest:
+        The loop nest (rectangular bounds).
+    statements:
+        The loop body, in textual order.
+    decls:
+        Optional explicit array declarations; any array referenced but not
+        declared gets an inferred declaration covering exactly the touched
+        bounding box (what a minimal "default" allocation would be).
+    name:
+        Used in reports.
+    """
+
+    def __init__(
+        self,
+        nest: LoopNest,
+        statements: Sequence[Statement],
+        decls: Sequence[ArrayDecl] = (),
+        name: str = "program",
+    ):
+        statements = tuple(statements)
+        if not statements:
+            raise ValueError("a program needs at least one statement")
+        labels = [s.label for s in statements]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate statement labels: {labels}")
+        for stmt in statements:
+            for ref in stmt.references:
+                if ref.nest_depth != nest.depth:
+                    raise ValueError(
+                        f"reference {ref} has {ref.nest_depth} index columns "
+                        f"but the nest has depth {nest.depth}"
+                    )
+        decl_map = {d.name: d for d in decls}
+        if len(decl_map) != len(decls):
+            raise ValueError("duplicate array declarations")
+        ranks = {}
+        for stmt in statements:
+            for ref in stmt.references:
+                ranks.setdefault(ref.array, ref.rank)
+                if ranks[ref.array] != ref.rank:
+                    raise ValueError(
+                        f"array {ref.array} referenced with inconsistent ranks"
+                    )
+                if ref.array in decl_map and decl_map[ref.array].rank != ref.rank:
+                    raise ValueError(
+                        f"array {ref.array} declared rank {decl_map[ref.array].rank} "
+                        f"but referenced with rank {ref.rank}"
+                    )
+        self.nest = nest
+        self.statements = statements
+        self.name = name
+        self._explicit_decls = decl_map
+
+    # ------------------------------------------------------------------
+    # reference queries
+    # ------------------------------------------------------------------
+    @property
+    def references(self) -> tuple[ArrayRef, ...]:
+        """All references in execution order within one iteration."""
+        out: list[ArrayRef] = []
+        for stmt in self.statements:
+            out.extend(stmt.references)
+        return tuple(out)
+
+    @property
+    def arrays(self) -> tuple[str, ...]:
+        """Referenced array names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for ref in self.references:
+            seen.setdefault(ref.array, None)
+        return tuple(seen)
+
+    def refs_to(self, array: str) -> tuple[ArrayRef, ...]:
+        return tuple(ref for ref in self.references if ref.array == array)
+
+    def is_uniformly_generated(self, array: str) -> bool:
+        """Do all references to ``array`` share one access matrix?"""
+        refs = self.refs_to(array)
+        return all(r.uniformly_generated_with(refs[0]) for r in refs[1:])
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+    def decl(self, array: str) -> ArrayDecl:
+        """Declaration of ``array`` — explicit if given, else inferred.
+
+        The inferred declaration is the bounding box of the elements the
+        nest actually touches, computed exactly from the access matrix
+        extremes over the rectangular iteration box (no enumeration).
+        """
+        if array in self._explicit_decls:
+            return self._explicit_decls[array]
+        refs = self.refs_to(array)
+        if not refs:
+            raise KeyError(array)
+        rank = refs[0].rank
+        los = [None] * rank
+        his = [None] * rank
+        lowers, uppers = self.nest.lowers, self.nest.uppers
+        for ref in refs:
+            for dim in range(rank):
+                row = ref.access.row(dim)
+                lo = ref.offset[dim]
+                hi = ref.offset[dim]
+                for coeff, lb, ub in zip(row, lowers, uppers):
+                    if coeff >= 0:
+                        lo += coeff * lb
+                        hi += coeff * ub
+                    else:
+                        lo += coeff * ub
+                        hi += coeff * lb
+                los[dim] = lo if los[dim] is None else min(los[dim], lo)
+                his[dim] = hi if his[dim] is None else max(his[dim], hi)
+        return ArrayDecl(
+            array,
+            tuple(h - l + 1 for l, h in zip(los, his)),
+            tuple(los),
+        )
+
+    @property
+    def decls(self) -> tuple[ArrayDecl, ...]:
+        return tuple(self.decl(a) for a in self.arrays)
+
+    @property
+    def default_memory(self) -> int:
+        """Figure 2's ``default``: total declared elements over all arrays."""
+        return sum(d.declared_size for d in self.decls)
+
+    # ------------------------------------------------------------------
+    # dynamic access stream
+    # ------------------------------------------------------------------
+    def access_events(self, array: str | None = None) -> Iterator[AccessEvent]:
+        """Enumerate every dynamic access in sequential execution order.
+
+        This stream is the ground truth behind the window simulator, the
+        exact distinct-access counter and the scratchpad model.  Filtering
+        by ``array`` avoids materializing irrelevant events.
+        """
+        per_iteration = [
+            (ordinal, ref)
+            for ordinal, ref in enumerate(self.references)
+            if array is None or ref.array == array
+        ]
+        for time, iteration in enumerate(self.nest.iterate()):
+            for ordinal, ref in per_iteration:
+                yield AccessEvent(time, ordinal, iteration, ref, ref.element(iteration))
+
+    def __repr__(self) -> str:
+        return (
+            f"Program(name={self.name!r}, depth={self.nest.depth}, "
+            f"statements={len(self.statements)}, arrays={list(self.arrays)})"
+        )
+
+    def __str__(self) -> str:
+        lines = [str(self.nest)]
+        pad = "  " * self.nest.depth
+        for stmt in self.statements:
+            lines.append(pad + str(stmt))
+        return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Array references: ``U[A @ I + b]`` with an access kind (read/write)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.linalg import IntMatrix, integer_nullspace
+
+
+class AccessKind(enum.Enum):
+    """Whether a reference reads or writes its element."""
+
+    READ = "read"
+    WRITE = "write"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """One textual reference to an array inside the loop body.
+
+    ``access`` is the paper's ``d x n`` access (data reference) matrix and
+    ``offset`` its length-``d`` offset vector: iteration ``I`` touches
+    element ``access @ I + offset``.
+    """
+
+    array: str
+    access: IntMatrix
+    offset: tuple[int, ...]
+    kind: AccessKind = AccessKind.READ
+
+    def __post_init__(self) -> None:
+        if len(self.offset) != self.access.n_rows:
+            raise ValueError(
+                f"offset length {len(self.offset)} != access rows {self.access.n_rows}"
+            )
+        object.__setattr__(self, "offset", tuple(int(v) for v in self.offset))
+
+    @classmethod
+    def of(
+        cls,
+        array: str,
+        access_rows: Sequence[Sequence[int]],
+        offset: Sequence[int],
+        kind: AccessKind = AccessKind.READ,
+    ) -> "ArrayRef":
+        """Convenience constructor from nested lists."""
+        return cls(array, IntMatrix(access_rows), tuple(offset), kind)
+
+    @property
+    def rank(self) -> int:
+        """Array dimensionality ``d``."""
+        return self.access.n_rows
+
+    @property
+    def nest_depth(self) -> int:
+        """Loop nest depth ``n`` this reference was written for."""
+        return self.access.n_cols
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is AccessKind.WRITE
+
+    def element(self, iteration: Sequence[int]) -> tuple[int, ...]:
+        """The array element touched by an iteration vector."""
+        base = self.access.apply(iteration)
+        return tuple(a + b for a, b in zip(base, self.offset))
+
+    def uniformly_generated_with(self, other: "ArrayRef") -> bool:
+        """Paper Section 2.3: same array and same access matrix.
+
+        Uniformly generated references differ only in their offset
+        vectors; all dependences between them are constant distance
+        vectors.
+        """
+        return self.array == other.array and self.access == other.access
+
+    def reuse_directions(self) -> list[tuple[int, ...]]:
+        """Primitive basis of self-reuse directions (kernel of ``access``).
+
+        Two iterations hit the same element iff their difference is an
+        integer combination of these vectors (paper Section 3.2).  Empty
+        for injective (e.g. square non-singular) access matrices.
+        """
+        return integer_nullspace(self.access)
+
+    def with_kind(self, kind: AccessKind) -> "ArrayRef":
+        """A copy with a different access kind."""
+        return ArrayRef(self.array, self.access, self.offset, kind)
+
+    def subscript_strings(self, index_names: Sequence[str]) -> list[str]:
+        """Human-readable subscript expressions, one per dimension."""
+        out = []
+        for row, c in zip(self.access.rows, self.offset):
+            terms = []
+            for coeff, name in zip(row, index_names):
+                if coeff == 0:
+                    continue
+                if coeff == 1:
+                    terms.append(f"+ {name}" if terms else name)
+                elif coeff == -1:
+                    terms.append(f"- {name}" if terms else f"-{name}")
+                elif coeff > 0:
+                    terms.append(f"+ {coeff}*{name}" if terms else f"{coeff}*{name}")
+                else:
+                    terms.append(f"- {-coeff}*{name}" if terms else f"-{-coeff}*{name}")
+            if c > 0:
+                terms.append(f"+ {c}" if terms else str(c))
+            elif c < 0:
+                terms.append(f"- {-c}" if terms else str(c))
+            out.append(" ".join(terms) if terms else "0")
+        return out
+
+    def __str__(self) -> str:
+        names = [f"i{k+1}" for k in range(self.nest_depth)]
+        subs = "][".join(self.subscript_strings(names))
+        return f"{self.array}[{subs}]"

@@ -1,0 +1,143 @@
+"""Sequences of perfect loop nests.
+
+Real DSP applications (the paper's motivating domain) are chains of
+perfectly nested loops: produce an array in one nest, consume it in the
+next.  The paper analyzes one nest at a time; this extension composes the
+per-nest windows into whole-application memory requirements, where an
+array written by nest ``k`` and read by nest ``k+1`` must keep its
+*inter-nest live set* resident across the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ir.program import Program
+
+
+class ProgramSequence:
+    """An ordered chain of perfect loop nests executed one after another."""
+
+    def __init__(self, programs: Sequence[Program], name: str = "sequence"):
+        programs = tuple(programs)
+        if not programs:
+            raise ValueError("a sequence needs at least one program")
+        names = [p.name for p in programs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate program names: {names}")
+        self.programs = programs
+        self.name = name
+
+    @property
+    def arrays(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for program in self.programs:
+            for array in program.arrays:
+                seen.setdefault(array, None)
+        return tuple(seen)
+
+    def producers(self, array: str) -> list[int]:
+        """Indices of nests that write the array."""
+        return [
+            k
+            for k, program in enumerate(self.programs)
+            if any(ref.is_write for ref in program.refs_to(array))
+        ]
+
+    def consumers(self, array: str) -> list[int]:
+        """Indices of nests that read the array."""
+        return [
+            k
+            for k, program in enumerate(self.programs)
+            if any(not ref.is_write for ref in program.refs_to(array))
+        ]
+
+    def live_between(self, array: str, boundary: int) -> set[tuple[int, ...]]:
+        """Elements of ``array`` live across the boundary after nest
+        ``boundary`` (written at or before it, read after it).
+
+        Exact, by enumeration of writes and reads.
+        """
+        if not 0 <= boundary < len(self.programs) - 1:
+            raise ValueError("boundary must sit between two nests")
+        written: set[tuple[int, ...]] = set()
+        for program in self.programs[: boundary + 1]:
+            for ref in program.refs_to(array):
+                if ref.is_write:
+                    for point in program.nest.iterate():
+                        written.add(ref.element(point))
+        read_later: set[tuple[int, ...]] = set()
+        for program in self.programs[boundary + 1:]:
+            for ref in program.refs_to(array):
+                if not ref.is_write:
+                    for point in program.nest.iterate():
+                        read_later.add(ref.element(point))
+        return written & read_later
+
+    def __repr__(self) -> str:
+        return f"ProgramSequence({[p.name for p in self.programs]!r})"
+
+
+@dataclass(frozen=True)
+class SequenceMemoryReport:
+    """Memory requirement of a nest chain.
+
+    ``per_nest`` holds each nest's own total MWS; ``per_boundary`` the
+    inter-nest live counts (summed over arrays); the requirement is the
+    maximum over execution of (current nest window + carried live sets
+    from every enclosing boundary).
+    """
+
+    sequence: str
+    per_nest: tuple[int, ...]
+    per_boundary: tuple[int, ...]
+    requirement: int
+    declared: int
+
+    @property
+    def saving(self) -> float:
+        if self.declared == 0:
+            return 0.0
+        return 1.0 - self.requirement / self.declared
+
+
+def sequence_memory_report(sequence: ProgramSequence) -> SequenceMemoryReport:
+    """Whole-chain memory requirement.
+
+    At the moment nest ``k`` runs, memory holds: nest ``k``'s window plus,
+    for every array, the elements produced before ``k`` and consumed after
+    ``k - 1`` (conservatively: the union of live-across sets of the two
+    adjacent boundaries).  The requirement is the max over ``k``.
+    """
+    from repro.window.simulator import max_total_window
+
+    programs = sequence.programs
+    per_nest = tuple(max_total_window(p) for p in programs)
+    boundaries = []
+    for boundary in range(len(programs) - 1):
+        total = 0
+        for array in sequence.arrays:
+            total += len(sequence.live_between(array, boundary))
+        boundaries.append(total)
+    requirement = 0
+    for k in range(len(programs)):
+        carried = 0
+        # Anything live across the boundary before k is resident while k
+        # runs, as is anything live across the boundary after k (it has
+        # already been produced by earlier nests or k itself at its end).
+        if k > 0:
+            carried = max(carried, boundaries[k - 1])
+        if k < len(boundaries):
+            carried = max(carried, boundaries[k])
+        requirement = max(requirement, per_nest[k] + carried)
+    declared = 0
+    seen: set[str] = set()
+    for program in programs:
+        for decl in program.decls:
+            if decl.name not in seen:
+                seen.add(decl.name)
+                declared += decl.declared_size
+    return SequenceMemoryReport(
+        sequence.name, per_nest, tuple(boundaries), requirement, declared
+    )

@@ -1,0 +1,67 @@
+"""Statements: ordered groups of references executed together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.ir.reference import AccessKind, ArrayRef
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One assignment inside the innermost loop.
+
+    ``writes`` then ``reads`` in program-text order.  Within one loop
+    iteration, reads execute before writes (value semantics of an
+    assignment), which matters for the loop-independent-dependence corner
+    cases the paper excludes (zero distance vectors are dropped).
+    """
+
+    label: str
+    writes: tuple[ArrayRef, ...] = field(default=())
+    reads: tuple[ArrayRef, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for ref in self.writes:
+            if not ref.is_write:
+                raise ValueError(f"non-write ref {ref} in writes of {self.label}")
+        for ref in self.reads:
+            if ref.is_write:
+                raise ValueError(f"write ref {ref} in reads of {self.label}")
+
+    @classmethod
+    def assign(
+        cls,
+        label: str,
+        write: ArrayRef | None,
+        reads: Sequence[ArrayRef] = (),
+    ) -> "Statement":
+        """Build ``write = f(reads...)``; ``write=None`` models a pure use."""
+        writes: tuple[ArrayRef, ...]
+        if write is None:
+            writes = ()
+        else:
+            writes = (write.with_kind(AccessKind.WRITE),)
+        return cls(
+            label,
+            writes,
+            tuple(r.with_kind(AccessKind.READ) for r in reads),
+        )
+
+    @property
+    def references(self) -> tuple[ArrayRef, ...]:
+        """All references, reads first (they execute first)."""
+        return self.reads + self.writes
+
+    def references_to(self, array: str) -> Iterator[ArrayRef]:
+        return (ref for ref in self.references if ref.array == array)
+
+    @property
+    def arrays(self) -> set[str]:
+        return {ref.array for ref in self.references}
+
+    def __str__(self) -> str:
+        lhs = ", ".join(str(w) for w in self.writes) or "(use)"
+        rhs = ", ".join(str(r) for r in self.reads) or "(const)"
+        return f"{self.label}: {lhs} = f({rhs})"

@@ -1,0 +1,27 @@
+"""The seven Figure-2 benchmark kernels, expressed in the IR."""
+
+from repro.kernels.suite import (
+    KERNELS,
+    KernelSpec,
+    full_search,
+    kernel_by_name,
+    matmult,
+    rasta_flt,
+    sor,
+    three_point,
+    threestep_log,
+    two_point,
+)
+
+__all__ = [
+    "KERNELS",
+    "KernelSpec",
+    "kernel_by_name",
+    "two_point",
+    "three_point",
+    "sor",
+    "matmult",
+    "threestep_log",
+    "full_search",
+    "rasta_flt",
+]

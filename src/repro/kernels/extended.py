@@ -1,0 +1,111 @@
+"""Extended kernel suite — applying the technique beyond Figure 2.
+
+The paper's closing claim is generality across array-dominated embedded
+codes.  These kernels exercise regimes Figure 2 does not: 2-D
+convolution (rank-2 windows in both grid directions), a transposed
+traversal (layout-adversarial), FIR filtering (classic 1-D sliding
+window), a downsampler (strided access), and matrix-vector product.
+``bench_extended_kernels.py`` runs the full pipeline over them.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import NestBuilder
+from repro.ir.program import Program
+from repro.kernels.suite import KernelSpec
+
+
+def conv2d(n: int = 24, k: int = 3) -> Program:
+    """Dense 2-D convolution with a ``k x k`` kernel (valid region)."""
+    builder = (
+        NestBuilder("conv2d")
+        .loop("i", 1, n)
+        .loop("j", 1, n)
+    )
+    ident = [[1, 0], [0, 1]]
+    reads = []
+    half = k // 2
+    for di in range(-half, half + 1):
+        for dj in range(-half, half + 1):
+            reads.append(("A", ident, [di, dj]))
+    reads.append(("K", [[0, 0], [0, 0]], [0, 0]))
+    return builder.statement(
+        "S1", write=("B", ident, [0, 0]), reads=reads
+    ).build()
+
+
+def transpose(n: int = 24) -> Program:
+    """Out-of-place transpose — the layout-adversarial access pattern."""
+    return (
+        NestBuilder("transpose")
+        .loop("i", 1, n)
+        .loop("j", 1, n)
+        .statement(
+            "S1",
+            write=("B", [[1, 0], [0, 1]], [0, 0]),
+            reads=[("A", [[0, 1], [1, 0]], [0, 0])],
+        )
+        .build()
+    )
+
+
+def fir(n: int = 256, taps: int = 16) -> Program:
+    """1-D FIR filter: the canonical sliding window."""
+    return (
+        NestBuilder("fir")
+        .loop("i", 1, n)
+        .loop("t", 1, taps)
+        .statement(
+            "S1",
+            write=("Y", [[1, 0]], [0]),
+            reads=[
+                ("Y", [[1, 0]], [0]),
+                ("X", [[1, 1]], [-1]),
+                ("H", [[0, 1]], [0]),
+            ],
+        )
+        .build()
+    )
+
+
+def downsample(n: int = 64, factor: int = 2) -> Program:
+    """2x decimation: strided reads, each input touched once."""
+    return (
+        NestBuilder("downsample")
+        .loop("i", 1, n // factor)
+        .loop("j", 1, n // factor)
+        .statement(
+            "S1",
+            write=("B", [[1, 0], [0, 1]], [0, 0]),
+            reads=[("A", [[factor, 0], [0, factor]], [0, 0])],
+        )
+        .build()
+    )
+
+
+def matvec(n: int = 48) -> Program:
+    """Matrix-vector product ``y = A x``."""
+    return (
+        NestBuilder("matvec")
+        .loop("i", 1, n)
+        .loop("j", 1, n)
+        .statement(
+            "S1",
+            write=("Y", [[1, 0]], [0]),
+            reads=[
+                ("Y", [[1, 0]], [0]),
+                ("A", [[1, 0], [0, 1]], [0, 0]),
+                ("X", [[0, 1]], [0]),
+            ],
+        )
+        .build()
+    )
+
+
+EXTENDED_KERNELS: tuple[KernelSpec, ...] = (
+    KernelSpec("conv2d", conv2d, "3x3 convolution, 24x24", None, 0, 0, None),
+    KernelSpec("transpose", transpose, "matrix transpose, 24x24", None, 0, 0, None),
+    KernelSpec("fir", fir, "16-tap FIR over 256 samples", None, 0, 0, None),
+    KernelSpec("downsample", downsample, "2x decimation, 64x64", None, 0, 0, None),
+    KernelSpec("matvec", matvec, "matrix-vector product, 48x48", None, 0, 0, None),
+)

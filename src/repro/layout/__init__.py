@@ -1,0 +1,29 @@
+"""Array memory layouts — the paper's stated future work.
+
+Section 7: "Work is in progress to extend our techniques to include the
+effects of memory layouts of arrays."  This package supplies that
+extension: layouts map array elements to linear addresses, windows can
+then be measured in *cache lines* instead of elements (spatial locality),
+and the same transformation machinery can be evaluated against a real
+line-granular memory.
+"""
+
+from repro.layout.layouts import (
+    BlockedLayout,
+    ColumnMajorLayout,
+    Layout,
+    RowMajorLayout,
+)
+from repro.layout.line_window import (
+    line_window_profile,
+    max_line_window,
+)
+
+__all__ = [
+    "Layout",
+    "RowMajorLayout",
+    "ColumnMajorLayout",
+    "BlockedLayout",
+    "max_line_window",
+    "line_window_profile",
+]

@@ -1,0 +1,106 @@
+"""Element-to-address mappings for array declarations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ir.array import ArrayDecl
+
+
+class Layout:
+    """Maps an element index tuple of a declared array to a linear address.
+
+    Addresses are 0-based words within the array's own allocation;
+    callers add an allocation base when arrays share an address space.
+    """
+
+    def address(self, decl: ArrayDecl, element: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def _normalized(self, decl: ArrayDecl, element: Sequence[int]) -> tuple[int, ...]:
+        if len(element) != decl.rank:
+            raise ValueError(
+                f"element rank {len(element)} != array rank {decl.rank}"
+            )
+        normalized = tuple(e - o for e, o in zip(element, decl.origins))
+        if any(not (0 <= x < extent) for x, extent in zip(normalized, decl.extents)):
+            raise IndexError(f"element {tuple(element)} outside {decl}")
+        return normalized
+
+
+@dataclass(frozen=True)
+class RowMajorLayout(Layout):
+    """C-style layout: the last dimension is contiguous.
+
+    >>> RowMajorLayout().address(ArrayDecl.of("A", 4, 5), (2, 3))
+    13
+    """
+
+    def address(self, decl: ArrayDecl, element: Sequence[int]) -> int:
+        coords = self._normalized(decl, element)
+        addr = 0
+        for x, extent in zip(coords, decl.extents):
+            addr = addr * extent + x
+        return addr
+
+    def strides(self, decl: ArrayDecl) -> tuple[int, ...]:
+        """Per-dimension strides in words."""
+        strides = [1] * decl.rank
+        for k in range(decl.rank - 2, -1, -1):
+            strides[k] = strides[k + 1] * decl.extents[k + 1]
+        return tuple(strides)
+
+
+@dataclass(frozen=True)
+class ColumnMajorLayout(Layout):
+    """Fortran-style layout: the first dimension is contiguous.
+
+    >>> ColumnMajorLayout().address(ArrayDecl.of("A", 4, 5), (2, 3))
+    14
+    """
+
+    def address(self, decl: ArrayDecl, element: Sequence[int]) -> int:
+        coords = self._normalized(decl, element)
+        addr = 0
+        for x, extent in zip(reversed(coords), reversed(decl.extents)):
+            addr = addr * extent + x
+        return addr
+
+    def strides(self, decl: ArrayDecl) -> tuple[int, ...]:
+        strides = [1] * decl.rank
+        for k in range(1, decl.rank):
+            strides[k] = strides[k - 1] * decl.extents[k - 1]
+        return tuple(strides)
+
+
+@dataclass(frozen=True)
+class BlockedLayout(Layout):
+    """Tiled layout: the array is split into rectangular blocks stored
+    contiguously (block-row-major), elements row-major within a block.
+
+    Data-layout counterpart of loop tiling — it packs a 2-D window into
+    few cache lines regardless of traversal direction.
+    """
+
+    block: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(b <= 0 for b in self.block):
+            raise ValueError("block extents must be positive")
+
+    def address(self, decl: ArrayDecl, element: Sequence[int]) -> int:
+        if len(self.block) != decl.rank:
+            raise ValueError("block rank != array rank")
+        coords = self._normalized(decl, element)
+        block_counts = [
+            (extent + b - 1) // b for extent, b in zip(decl.extents, self.block)
+        ]
+        block_index = 0
+        inner_index = 0
+        block_volume = 1
+        for x, b, count in zip(coords, self.block, block_counts):
+            block_index = block_index * count + x // b
+            inner_index = inner_index * b + x % b
+            block_volume *= b
+        return block_index * block_volume + inner_index

@@ -1,0 +1,67 @@
+"""Exact integer linear algebra substrate.
+
+Everything in this package operates on Python integers (arbitrary
+precision), never on floats, so all results are exact.  This is the
+foundation for dependence analysis (distance vectors), reuse analysis
+(integer nullspaces of access matrices) and the unimodular transformation
+machinery of the paper.
+
+Public API
+----------
+``IntMatrix``
+    Dense exact integer matrix with determinant, inverse, Hermite and
+    Smith normal forms.
+``ext_gcd``, ``gcd_list``, ``solve_linear_diophantine``
+    Scalar / vector diophantine tools.
+``integer_nullspace``
+    Primitive basis of the integer kernel of a matrix.
+``complete_unimodular``
+    Extend a set of rows to a full unimodular matrix.
+``sylvester_count``, ``frobenius_number``
+    Counting of non-representable values of ``a*x + b*y`` — used for the
+    non-uniform lower bound of Section 3.2.
+"""
+
+from repro.linalg.gcd import (
+    ext_gcd,
+    gcd_list,
+    lcm,
+    lcm_list,
+    solve_linear_diophantine,
+    solve_two_var_diophantine,
+)
+from repro.linalg.matrix import IntMatrix
+from repro.linalg.hermite import hermite_normal_form, smith_normal_form
+from repro.linalg.nullspace import integer_nullspace, primitive_vector
+from repro.linalg.unimodular import (
+    complete_unimodular,
+    is_unimodular,
+    random_unimodular,
+    unimodular_inverse,
+)
+from repro.linalg.frobenius import (
+    frobenius_number,
+    representable_values,
+    sylvester_count,
+)
+
+__all__ = [
+    "IntMatrix",
+    "ext_gcd",
+    "gcd_list",
+    "lcm",
+    "lcm_list",
+    "solve_linear_diophantine",
+    "solve_two_var_diophantine",
+    "hermite_normal_form",
+    "smith_normal_form",
+    "integer_nullspace",
+    "primitive_vector",
+    "complete_unimodular",
+    "is_unimodular",
+    "random_unimodular",
+    "unimodular_inverse",
+    "frobenius_number",
+    "representable_values",
+    "sylvester_count",
+]

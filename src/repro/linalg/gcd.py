@@ -1,0 +1,124 @@
+"""Scalar gcd machinery and linear diophantine solvers.
+
+These routines underpin dependence testing (does ``a1*x1 + ... + an*xn = c``
+have integer solutions within the loop bounds?) and unimodular completion
+(find ``c, d`` with ``a*d - b*c = 1``).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Sequence
+
+
+def ext_gcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y = g = gcd(a, b)``.
+
+    ``g`` is always non-negative.  ``ext_gcd(0, 0) == (0, 0, 0)``.
+
+    >>> ext_gcd(6, 4)
+    (2, 1, -1)
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+def gcd_list(values: Sequence[int]) -> int:
+    """Non-negative gcd of a sequence; ``gcd_list([]) == 0``."""
+    g = 0
+    for v in values:
+        g = math.gcd(g, v)
+    return g
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple; ``lcm(0, x) == 0``."""
+    if a == 0 or b == 0:
+        return 0
+    return abs(a * b) // math.gcd(a, b)
+
+
+def lcm_list(values: Sequence[int]) -> int:
+    """lcm of a sequence; ``lcm_list([]) == 1``."""
+    out = 1
+    for v in values:
+        out = lcm(out, v)
+        if out == 0:
+            return 0
+    return out
+
+
+def solve_two_var_diophantine(a: int, b: int, c: int) -> tuple[int, int] | None:
+    """One integer solution ``(x, y)`` of ``a*x + b*y = c``, or ``None``.
+
+    The general solution is ``(x + t*b/g, y - t*a/g)`` for integer ``t``
+    where ``g = gcd(a, b)``.
+
+    >>> solve_two_var_diophantine(3, 5, 1)
+    (2, -1)
+    """
+    if a == 0 and b == 0:
+        return (0, 0) if c == 0 else None
+    g, x, y = ext_gcd(a, b)
+    if c % g != 0:
+        return None
+    k = c // g
+    return x * k, y * k
+
+
+def solve_linear_diophantine(coeffs: Sequence[int], c: int) -> list[int] | None:
+    """One integer solution of ``sum(coeffs[i] * x[i]) = c``, or ``None``.
+
+    Uses the classic fold: solve for the gcd of a prefix, then recurse.
+    An all-zero coefficient vector admits the zero solution iff ``c == 0``.
+
+    >>> solve_linear_diophantine([3, 7], -4)
+    [8, -4]
+    >>> 3 * 8 + 7 * -4
+    -4
+    """
+    n = len(coeffs)
+    if n == 0:
+        return [] if c == 0 else None
+    if n == 1:
+        a = coeffs[0]
+        if a == 0:
+            return [0] if c == 0 else None
+        if c % a != 0:
+            return None
+        return [c // a]
+    # Fold the first two coefficients into their gcd, recurse, then split.
+    a, b = coeffs[0], coeffs[1]
+    g = math.gcd(a, b)
+    if g == 0:
+        rest = solve_linear_diophantine(coeffs[2:], c)
+        if rest is None:
+            return None
+        return [0, 0] + rest
+    sub = solve_linear_diophantine([g] + list(coeffs[2:]), c)
+    if sub is None:
+        return None
+    # a*x + b*y = g * sub[0]
+    pair = solve_two_var_diophantine(a, b, g * sub[0])
+    assert pair is not None  # g * sub[0] is a multiple of gcd(a, b) == g
+    return [pair[0], pair[1]] + sub[1:]
+
+
+def floor_div(a: int, b: int) -> int:
+    """Floor of ``a / b`` for any non-zero integer ``b`` (exact semantics)."""
+    return math.floor(Fraction(a, b))
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling of ``a / b`` for any non-zero integer ``b``."""
+    return math.ceil(Fraction(a, b))

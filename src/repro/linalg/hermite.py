@@ -1,0 +1,183 @@
+"""Hermite and Smith normal forms over the integers.
+
+Both forms are computed with explicitly tracked unimodular multipliers so
+callers can recover the transformation matrices — that is what turns a
+normal form computation into a nullspace basis or a unimodular completion.
+
+The row-style Hermite normal form used here puts a matrix ``A`` into
+``H = U @ A`` where ``U`` is unimodular, ``H`` is in row echelon form with
+positive pivots and entries above each pivot reduced modulo the pivot.
+"""
+
+from __future__ import annotations
+
+from repro.linalg.matrix import IntMatrix
+
+
+def _swap_rows(m: list[list[int]], i: int, j: int) -> None:
+    m[i], m[j] = m[j], m[i]
+
+
+def _add_row_multiple(m: list[list[int]], dst: int, src: int, k: int) -> None:
+    if k != 0:
+        m[dst] = [a + k * b for a, b in zip(m[dst], m[src])]
+
+
+def _negate_row(m: list[list[int]], i: int) -> None:
+    m[i] = [-a for a in m[i]]
+
+
+def _swap_cols(m: list[list[int]], i: int, j: int) -> None:
+    for row in m:
+        row[i], row[j] = row[j], row[i]
+
+
+def _add_col_multiple(m: list[list[int]], dst: int, src: int, k: int) -> None:
+    if k != 0:
+        for row in m:
+            row[dst] += k * row[src]
+
+
+def hermite_normal_form(matrix: IntMatrix) -> tuple[IntMatrix, IntMatrix]:
+    """Row-style HNF: return ``(H, U)`` with ``H == U @ matrix`` and ``U`` unimodular.
+
+    ``H`` is upper-echelon with positive pivots; entries above a pivot are
+    reduced into ``[0, pivot)``.
+
+    >>> h, u = hermite_normal_form(IntMatrix([[2, 4], [3, 5]]))
+    >>> h
+    IntMatrix([[1, 1], [0, 2]])
+    >>> (u @ IntMatrix([[2, 4], [3, 5]])) == h
+    True
+    """
+    a = matrix.to_lists()
+    n_rows, n_cols = matrix.shape
+    u = IntMatrix.identity(n_rows).to_lists()
+
+    pivot_row = 0
+    for col in range(n_cols):
+        if pivot_row >= n_rows:
+            break
+        # Euclidean reduction within this column, below pivot_row.  The
+        # minimum absolute value strictly decreases each pass, so this
+        # terminates.
+        while True:
+            nonzero = [r for r in range(pivot_row, n_rows) if a[r][col] != 0]
+            if not nonzero:
+                break
+            best = min(nonzero, key=lambda r: abs(a[r][col]))
+            if best != pivot_row:
+                _swap_rows(a, pivot_row, best)
+                _swap_rows(u, pivot_row, best)
+            if a[pivot_row][col] < 0:
+                _negate_row(a, pivot_row)
+                _negate_row(u, pivot_row)
+            pivot = a[pivot_row][col]
+            done = True
+            for r in range(pivot_row + 1, n_rows):
+                if a[r][col] != 0:
+                    q = a[r][col] // pivot
+                    _add_row_multiple(a, r, pivot_row, -q)
+                    _add_row_multiple(u, r, pivot_row, -q)
+                    if a[r][col] != 0:
+                        done = False
+            if done:
+                break
+        if a[pivot_row][col] != 0:
+            # Reduce the entries above the pivot into [0, pivot).
+            pivot = a[pivot_row][col]
+            for r in range(pivot_row):
+                q = a[r][col] // pivot
+                _add_row_multiple(a, r, pivot_row, -q)
+                _add_row_multiple(u, r, pivot_row, -q)
+            pivot_row += 1
+
+    return IntMatrix(a), IntMatrix(u)
+
+
+def smith_normal_form(matrix: IntMatrix) -> tuple[IntMatrix, IntMatrix, IntMatrix]:
+    """Smith normal form: return ``(S, U, V)`` with ``S == U @ matrix @ V``.
+
+    ``U`` and ``V`` are unimodular, ``S`` is diagonal with non-negative
+    entries satisfying the divisibility chain ``S[k][k] | S[k+1][k+1]``.
+
+    Standard pivot-shrinking algorithm: at step ``k`` repeatedly (1) move
+    the minimum-magnitude nonzero entry of the trailing submatrix to
+    ``(k, k)``, (2) reduce its row and column, (3) if some trailing entry
+    is not divisible by the pivot, mix its row in and restart.  Every
+    restart strictly decreases the pivot magnitude, so the loop
+    terminates; on exit the pivot divides the whole trailing submatrix,
+    which yields the divisibility chain.
+
+    >>> s, u, v = smith_normal_form(IntMatrix([[2, 4], [6, 8]]))
+    >>> [s[0, 0], s[1, 1]]
+    [2, 4]
+    """
+    a = matrix.to_lists()
+    n_rows, n_cols = matrix.shape
+    u = IntMatrix.identity(n_rows).to_lists()
+    v = IntMatrix.identity(n_cols).to_lists()
+
+    for k in range(min(n_rows, n_cols)):
+        while True:
+            entries = [
+                (abs(a[i][j]), i, j)
+                for i in range(k, n_rows)
+                for j in range(k, n_cols)
+                if a[i][j] != 0
+            ]
+            if not entries:
+                break  # trailing submatrix is zero; done entirely
+            _, pi, pj = min(entries)
+            if pi != k:
+                _swap_rows(a, k, pi)
+                _swap_rows(u, k, pi)
+            if pj != k:
+                _swap_cols(a, k, pj)
+                _swap_cols(v, k, pj)
+            if a[k][k] < 0:
+                _negate_row(a, k)
+                _negate_row(u, k)
+            pivot = a[k][k]
+
+            # Reduce column k below the pivot.
+            dirty = False
+            for i in range(k + 1, n_rows):
+                if a[i][k] != 0:
+                    q = a[i][k] // pivot
+                    _add_row_multiple(a, i, k, -q)
+                    _add_row_multiple(u, i, k, -q)
+                    if a[i][k] != 0:
+                        dirty = True  # remainder smaller than pivot survives
+            if dirty:
+                continue
+            # Reduce row k right of the pivot.
+            for j in range(k + 1, n_cols):
+                if a[k][j] != 0:
+                    q = a[k][j] // pivot
+                    _add_col_multiple(a, j, k, -q)
+                    _add_col_multiple(v, j, k, -q)
+                    if a[k][j] != 0:
+                        dirty = True
+            if dirty:
+                continue
+            # Row and column are clean; enforce pivot | trailing entries.
+            offender = next(
+                (
+                    (i, j)
+                    for i in range(k + 1, n_rows)
+                    for j in range(k + 1, n_cols)
+                    if a[i][j] % pivot != 0
+                ),
+                None,
+            )
+            if offender is None:
+                break
+            # Mixing the offending row into row k plants a non-multiple in
+            # row k; the next pass shrinks the pivot strictly.
+            _add_row_multiple(a, k, offender[0], 1)
+            _add_row_multiple(u, k, offender[0], 1)
+        if k < n_rows and k < n_cols and a[k][k] == 0:
+            break
+
+    return IntMatrix(a), IntMatrix(u), IntMatrix(v)

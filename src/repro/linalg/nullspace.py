@@ -1,0 +1,60 @@
+"""Integer nullspace computation.
+
+The reuse direction of a reference like ``A[3i + k, j + k]`` is the integer
+kernel of its access matrix (paper Section 3.2): two iterations hit the same
+element exactly when their difference lies in that kernel.  We need a
+*primitive* basis (component gcd 1) so reuse distances are the smallest
+integral steps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.linalg.hermite import hermite_normal_form
+from repro.linalg.matrix import IntMatrix
+
+
+def primitive_vector(vector: Sequence[int]) -> tuple[int, ...]:
+    """Divide out the gcd of the components; zero vector is returned as-is.
+
+    >>> primitive_vector([4, -6, 2])
+    (2, -3, 1)
+    """
+    g = 0
+    for v in vector:
+        g = math.gcd(g, v)
+    if g == 0:
+        return tuple(vector)
+    return tuple(v // g for v in vector)
+
+
+def integer_nullspace(matrix: IntMatrix) -> list[tuple[int, ...]]:
+    """A basis of the integer kernel ``{x : matrix @ x == 0}``.
+
+    Computed via the row-style HNF of the transpose with tracked
+    multiplier: ``H = U @ A^T`` implies every zero row of ``H`` corresponds
+    to a row ``u`` of ``U`` with ``u @ A^T == 0``, i.e. ``A @ u^T == 0``.
+    The rows of ``U`` form a lattice basis, so the returned vectors span the
+    full integer kernel (not merely a finite-index sublattice).  Each basis
+    vector is normalized to be primitive with a non-negative leading entry.
+
+    >>> integer_nullspace(IntMatrix([[3, 0, 1], [0, 1, 1]]))
+    [(1, 3, -3)]
+    """
+    h, u = hermite_normal_form(matrix.transpose())
+    kernel = []
+    for i, h_row in enumerate(h.rows):
+        if all(v == 0 for v in h_row):
+            vec = primitive_vector(u.row(i))
+            first = next((v for v in vec if v != 0), 0)
+            if first < 0:
+                vec = tuple(-v for v in vec)
+            kernel.append(vec)
+    return kernel
+
+
+def nullspace_rank(matrix: IntMatrix) -> int:
+    """Dimension of the kernel = ``n_cols - rank``."""
+    return matrix.n_cols - matrix.rank()

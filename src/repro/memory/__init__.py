@@ -1,0 +1,46 @@
+"""Embedded memory substrate: scratchpad simulation and cost models.
+
+Section 1 of the paper motivates window minimization with three costs of
+oversized memories — per-access energy, latency and area.  This package
+makes those costs concrete: a scratchpad buffer simulator that executes a
+nest with a bounded on-chip buffer and counts off-chip transfers, and
+parameterized energy/latency/area models in the CACTI tradition (costs
+grow with capacity).  Together they turn an MWS number into energy and
+traffic numbers.
+"""
+
+from repro.memory.scratchpad import (
+    ScratchpadStats,
+    simulate_scratchpad,
+)
+from repro.memory.cachesim import (
+    CacheConfig,
+    CacheStats,
+    allocate_arrays,
+    simulate_cache,
+)
+from repro.memory.energy import (
+    MemoryCostModel,
+    access_energy_pj,
+    access_latency_ns,
+    area_mm2,
+)
+from repro.memory.sizing import (
+    SizingReport,
+    size_memory_for_program,
+)
+
+__all__ = [
+    "ScratchpadStats",
+    "simulate_scratchpad",
+    "CacheConfig",
+    "CacheStats",
+    "allocate_arrays",
+    "simulate_cache",
+    "MemoryCostModel",
+    "access_energy_pj",
+    "access_latency_ns",
+    "area_mm2",
+    "SizingReport",
+    "size_memory_for_program",
+]

@@ -1,0 +1,82 @@
+"""Parameterized memory cost models.
+
+The paper's Section 1 argument, made quantitative: per-access energy,
+access latency and silicon area of an on-chip SRAM all grow with its
+capacity.  The model shapes follow the CACTI family — energy and latency
+roughly with the square root of capacity (wordline/bitline lengths), area
+roughly linearly — normalized to a configurable baseline so the *ratios*
+between memory sizes are meaningful even though absolute constants are
+technology-specific.
+
+These are models, not a circuit simulator: the paper's own evaluation is
+analytical, and these curves exist so examples and benches can convert a
+"92.3% smaller memory" into "x% less energy per access".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryCostModel:
+    """Cost curves for an on-chip data memory of ``capacity`` words.
+
+    Parameters are the costs of a reference 1K-word memory; exponents
+    control scaling.  Defaults approximate published SRAM scaling trends
+    (energy ~ sqrt(C), latency ~ sqrt(C), area ~ C).
+    """
+
+    base_capacity_words: int = 1024
+    base_energy_pj: float = 5.0
+    base_latency_ns: float = 1.2
+    base_area_mm2: float = 0.08
+    energy_exponent: float = 0.5
+    latency_exponent: float = 0.5
+    area_exponent: float = 1.0
+
+    def _ratio(self, capacity: int, exponent: float) -> float:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        return (capacity / self.base_capacity_words) ** exponent
+
+    def energy_per_access_pj(self, capacity: int) -> float:
+        """Energy of one access to a memory of ``capacity`` words."""
+        return self.base_energy_pj * self._ratio(capacity, self.energy_exponent)
+
+    def latency_ns(self, capacity: int) -> float:
+        """Access latency of a memory of ``capacity`` words."""
+        return self.base_latency_ns * self._ratio(capacity, self.latency_exponent)
+
+    def area_mm2(self, capacity: int) -> float:
+        """Silicon area of a memory of ``capacity`` words."""
+        return self.base_area_mm2 * self._ratio(capacity, self.area_exponent)
+
+    def total_energy_pj(
+        self, capacity: int, onchip_accesses: int, offchip_transfers: int,
+        offchip_energy_pj: float = 200.0,
+    ) -> float:
+        """Whole-execution energy: on-chip accesses plus off-chip traffic."""
+        return (
+            onchip_accesses * self.energy_per_access_pj(capacity)
+            + offchip_transfers * offchip_energy_pj
+        )
+
+
+_DEFAULT_MODEL = MemoryCostModel()
+
+
+def access_energy_pj(capacity: int, model: MemoryCostModel = _DEFAULT_MODEL) -> float:
+    """Per-access energy under the default model."""
+    return model.energy_per_access_pj(capacity)
+
+
+def access_latency_ns(capacity: int, model: MemoryCostModel = _DEFAULT_MODEL) -> float:
+    """Access latency under the default model."""
+    return model.latency_ns(capacity)
+
+
+def area_mm2(capacity: int, model: MemoryCostModel = _DEFAULT_MODEL) -> float:
+    """Area under the default model."""
+    return model.area_mm2(capacity)

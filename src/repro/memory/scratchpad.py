@@ -1,0 +1,148 @@
+"""Scratchpad buffer simulation.
+
+Executes a program's access stream against an on-chip buffer of a given
+capacity managed with the optimal (Belady) policy the window model
+implies: an element is kept exactly while it will be used again.  When
+the buffer is at least the program's MWS, every element is fetched from
+off-chip exactly once (cold misses only); smaller buffers evict live
+elements and re-fetch them.  This is the operational meaning of "MWS =
+minimum memory" and the conservation law the tests check.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.ir.program import Program
+from repro.linalg import IntMatrix
+
+
+@dataclass(frozen=True)
+class ScratchpadStats:
+    """Outcome of a scratchpad simulation."""
+
+    capacity: int
+    accesses: int
+    hits: int
+    cold_misses: int
+    capacity_misses: int
+    writebacks: int
+
+    @property
+    def misses(self) -> int:
+        return self.cold_misses + self.capacity_misses
+
+    @property
+    def offchip_transfers(self) -> int:
+        """Fetches plus writebacks — the traffic a bus would carry."""
+        return self.misses + self.writebacks
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+def simulate_scratchpad(
+    program: Program,
+    capacity: int,
+    array: str | None = None,
+    transformation: IntMatrix | None = None,
+    policy: str = "belady",
+) -> ScratchpadStats:
+    """Run the access stream through a managed on-chip buffer.
+
+    ``array`` restricts the simulation to one array (per-array buffers are
+    how the paper sizes windows); None simulates all arrays sharing the
+    buffer.  ``transformation`` replays the stream in the transformed
+    execution order.
+
+    ``policy="belady"`` evicts the resident element whose next use is
+    farthest in the future (never-used-again elements first) — optimal,
+    matching the window model's assumption of perfect management, so a
+    buffer of MWS elements suffers cold misses only.  ``policy="lru"``
+    models a hardware cache without future knowledge; the ablation bench
+    measures how much extra capacity LRU needs to reach the same traffic.
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    if policy not in ("belady", "lru"):
+        raise ValueError(f"unknown policy {policy!r}")
+    # Materialize the access stream (element ids with next-use indices).
+    refs = [
+        (ordinal, ref)
+        for ordinal, ref in enumerate(program.references)
+        if array is None or ref.array == array
+    ]
+    if not refs:
+        raise KeyError(array)
+    if transformation is None:
+        points = program.nest.iterate()
+    else:
+        pts = list(program.nest.iterate())
+        pts.sort(key=transformation.apply)
+        points = iter(pts)
+
+    stream: list[tuple[tuple, bool]] = []  # (element id, is_write)
+    for point in points:
+        for _, ref in refs:
+            stream.append(((ref.array, ref.element(point)), ref.is_write))
+
+    # Precompute next-use chains.
+    next_use = [len(stream)] * len(stream)
+    last_seen: dict[tuple, int] = {}
+    for idx in range(len(stream) - 1, -1, -1):
+        element = stream[idx][0]
+        next_use[idx] = last_seen.get(element, len(stream))
+        last_seen[element] = idx
+
+    # resident maps element -> priority (next-use index for Belady,
+    # last-use recency for LRU); the lazy heap orders eviction victims.
+    use_belady = policy == "belady"
+    resident: dict[tuple, int] = {}
+    dirty: set[tuple] = set()
+    heap: list[tuple[int, tuple]] = []
+    seen_ever: set[tuple] = set()
+    hits = cold = capacity_misses = writebacks = 0
+
+    def priority(idx: int) -> int:
+        # Belady evicts the LARGEST next use; LRU evicts the SMALLEST
+        # last use.  Store negated next-use so the min-heap pops the
+        # right victim in both policies.
+        return -next_use[idx] if use_belady else idx
+
+    for idx, (element, is_write) in enumerate(stream):
+        if element in resident:
+            hits += 1
+        else:
+            if element in seen_ever:
+                capacity_misses += 1
+            else:
+                cold += 1
+                seen_ever.add(element)
+            if len(resident) >= capacity:
+                while True:
+                    prio, victim = heapq.heappop(heap)
+                    if resident.get(victim) == prio:
+                        break
+                del resident[victim]
+                if victim in dirty:
+                    writebacks += 1
+                    dirty.discard(victim)
+        # Refresh the element's priority (insert or update).
+        prio = priority(idx)
+        if resident.get(element) != prio:
+            resident[element] = prio
+            heapq.heappush(heap, (prio, element))
+        if is_write:
+            dirty.add(element)
+
+    writebacks += len(dirty & set(resident))  # final flush of dirty lines
+    return ScratchpadStats(
+        capacity=capacity,
+        accesses=len(stream),
+        hits=hits,
+        cold_misses=cold,
+        capacity_misses=capacity_misses,
+        writebacks=writebacks,
+    )

@@ -1,0 +1,36 @@
+"""Rational polyhedra and lattice counting.
+
+This subpackage is the geometric substrate: constraint systems over the
+iteration indices, Fourier-Motzkin projection (used to derive loop bounds
+for transformed nests), and exact lattice-point / image counting used as
+oracles for the paper's closed-form estimates.
+"""
+
+from repro.polyhedral.polytope import Constraint, ConstraintSystem
+from repro.polyhedral.fourier_motzkin import (
+    BoundExpr,
+    LoopBounds,
+    eliminate_variable,
+    loop_bounds,
+)
+from repro.polyhedral.lattice import (
+    count_lattice_points,
+    enumerate_lattice_points,
+)
+from repro.polyhedral.counting import (
+    count_distinct_affine_1d,
+    count_image_exact,
+)
+
+__all__ = [
+    "Constraint",
+    "ConstraintSystem",
+    "BoundExpr",
+    "LoopBounds",
+    "eliminate_variable",
+    "loop_bounds",
+    "count_lattice_points",
+    "enumerate_lattice_points",
+    "count_distinct_affine_1d",
+    "count_image_exact",
+]

@@ -1,0 +1,174 @@
+"""Fourier-Motzkin elimination and loop-bound extraction.
+
+Eliminating the innermost variable of a constraint system produces (a) the
+lower/upper bound expressions for that variable in terms of the outer ones
+— exactly what a code generator prints as ``max(ceil(...), ...)`` /
+``min(floor(...), ...)`` — and (b) the projected system for the next level
+out.  Iterating from the innermost level yields bounds for a whole
+transformed nest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.linalg.gcd import ceil_div, floor_div
+from repro.polyhedral.polytope import Constraint, ConstraintSystem
+
+
+@dataclass(frozen=True)
+class BoundExpr:
+    """One bound on variable ``k``: ``(coeffs . outer + const) / divisor``.
+
+    For a lower bound the generated code takes the ceiling; for an upper
+    bound the floor.  ``coeffs`` covers variables ``0..k-1`` only.
+    """
+
+    coeffs: tuple[int, ...]
+    const: int
+    divisor: int  # > 0
+
+    def evaluate_lower(self, outer: Sequence[int]) -> int:
+        """Ceiling value given outer index values."""
+        num = sum(c * x for c, x in zip(self.coeffs, outer)) + self.const
+        return ceil_div(num, self.divisor)
+
+    def evaluate_upper(self, outer: Sequence[int]) -> int:
+        """Floor value given outer index values."""
+        num = sum(c * x for c, x in zip(self.coeffs, outer)) + self.const
+        return floor_div(num, self.divisor)
+
+    def render(self, names: Sequence[str], as_lower: bool) -> str:
+        terms = []
+        for c, name in zip(self.coeffs, names):
+            if c == 0:
+                continue
+            if c == 1:
+                terms.append(f"+ {name}" if terms else name)
+            elif c == -1:
+                terms.append(f"- {name}" if terms else f"-{name}")
+            elif c > 0:
+                terms.append(f"+ {c}*{name}" if terms else f"{c}*{name}")
+            else:
+                terms.append(f"- {-c}*{name}" if terms else f"-{-c}*{name}")
+        if self.const > 0:
+            terms.append(f"+ {self.const}" if terms else str(self.const))
+        elif self.const < 0:
+            terms.append(f"- {-self.const}" if terms else str(self.const))
+        body = " ".join(terms) if terms else "0"
+        if self.divisor == 1:
+            return body
+        fn = "ceild" if as_lower else "floord"
+        return f"{fn}({body}, {self.divisor})"
+
+
+@dataclass(frozen=True)
+class LoopBounds:
+    """All lower/upper bound expressions for one loop level."""
+
+    lowers: tuple[BoundExpr, ...]
+    uppers: tuple[BoundExpr, ...]
+
+    def lower_value(self, outer: Sequence[int]) -> int:
+        return max(b.evaluate_lower(outer) for b in self.lowers)
+
+    def upper_value(self, outer: Sequence[int]) -> int:
+        return min(b.evaluate_upper(outer) for b in self.uppers)
+
+    def render_lower(self, names: Sequence[str]) -> str:
+        parts = [b.render(names, as_lower=True) for b in self.lowers]
+        return parts[0] if len(parts) == 1 else "max(" + ", ".join(parts) + ")"
+
+    def render_upper(self, names: Sequence[str]) -> str:
+        parts = [b.render(names, as_lower=False) for b in self.uppers]
+        return parts[0] if len(parts) == 1 else "min(" + ", ".join(parts) + ")"
+
+
+def eliminate_variable(
+    system: ConstraintSystem, var_index: int
+) -> tuple[LoopBounds, ConstraintSystem]:
+    """Project out variable ``var_index`` (normally the innermost).
+
+    Returns the bound expressions for that variable and the projected
+    system over the remaining variables.  Raises ``ValueError`` when the
+    variable is unbounded in either direction (loop nests must be bounded).
+    """
+    lowers: list[BoundExpr] = []  # a*x >= expr  =>  x >= expr / a
+    uppers: list[BoundExpr] = []
+    pass_through: list[Constraint] = []
+    lower_cons: list[Constraint] = []
+    upper_cons: list[Constraint] = []
+
+    for con in system.constraints:
+        a = con.coeffs[var_index]
+        rest = tuple(
+            c for k, c in enumerate(con.coeffs) if k != var_index
+        )
+        if a == 0:
+            pass_through.append(Constraint(rest, con.const))
+        elif a > 0:
+            # a*x + rest.outer + const >= 0  =>  x >= (-rest.outer - const)/a
+            lowers.append(BoundExpr(tuple(-c for c in rest), -con.const, a))
+            lower_cons.append(con)
+        else:
+            # a*x + ... >= 0 with a < 0  =>  x <= (rest.outer + const)/(-a)
+            uppers.append(BoundExpr(rest, con.const, -a))
+            upper_cons.append(con)
+
+    if not lowers or not uppers:
+        name = system.names[var_index]
+        raise ValueError(f"variable {name} is unbounded; cannot eliminate")
+
+    new_names = tuple(
+        n for k, n in enumerate(system.names) if k != var_index
+    )
+    projected = ConstraintSystem(new_names)
+    for con in pass_through:
+        projected.add(con)
+    # Combine each (lower, upper) pair: from a*x + p >= 0 (a>0) and
+    # b*x + q >= 0 (b<0): b*p - a*q ... standard FM: a*q' + |b|*p' style.
+    for lo in lower_cons:
+        a = lo.coeffs[var_index]
+        for hi in upper_cons:
+            b = -hi.coeffs[var_index]  # > 0
+            coeffs = tuple(
+                b * cl + a * ch
+                for k, (cl, ch) in enumerate(zip(lo.coeffs, hi.coeffs))
+                if k != var_index
+            )
+            const = b * lo.const + a * hi.const
+            projected.add(Constraint(coeffs, const))
+
+    return LoopBounds(tuple(lowers), tuple(uppers)), projected
+
+
+def loop_bounds(system: ConstraintSystem) -> list[LoopBounds]:
+    """Bounds for every level of a nest scanning ``system``'s rational
+    projection, outermost first.
+
+    The innermost variable is eliminated first; level ``k``'s bounds refer
+    to variables ``0..k-1``.  The rational projection may include outer
+    values whose inner range is empty — generated code guards with
+    ``max(...) <= min(...)``, which our evaluators honor.
+    """
+    bounds_reversed: list[LoopBounds] = []
+    current = system
+    for var_index in range(system.arity - 1, 0, -1):
+        level_bounds, current = eliminate_variable(current, var_index)
+        bounds_reversed.append(level_bounds)
+    # Outermost variable: its bounds are the constant constraints left.
+    lowers: list[BoundExpr] = []
+    uppers: list[BoundExpr] = []
+    for con in current.constraints:
+        a = con.coeffs[0]
+        if a > 0:
+            lowers.append(BoundExpr((), -con.const, a))
+        elif a < 0:
+            uppers.append(BoundExpr((), con.const, -a))
+        elif con.const < 0:
+            raise ValueError("infeasible constraint system")
+    if not lowers or not uppers:
+        raise ValueError(f"variable {system.names[0]} is unbounded")
+    bounds_reversed.append(LoopBounds(tuple(lowers), tuple(uppers)))
+    return list(reversed(bounds_reversed))

@@ -1,0 +1,158 @@
+"""Linear constraint systems over integer variables.
+
+A :class:`Constraint` is ``coeffs . x + const >= 0`` with integer data.
+A :class:`ConstraintSystem` is a conjunction of constraints over named
+variables — typically the loop indices of a nest, original or transformed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.ir.loop import LoopNest
+from repro.linalg import IntMatrix
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``sum(coeffs[k] * x[k]) + const >= 0`` over integer variables."""
+
+    coeffs: tuple[int, ...]
+    const: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "coeffs", tuple(int(c) for c in self.coeffs))
+        object.__setattr__(self, "const", int(self.const))
+
+    @property
+    def arity(self) -> int:
+        return len(self.coeffs)
+
+    def satisfied_by(self, point: Sequence[int]) -> bool:
+        if len(point) != self.arity:
+            raise ValueError("dimension mismatch")
+        return sum(c * x for c, x in zip(self.coeffs, point)) + self.const >= 0
+
+    def is_trivial(self) -> bool:
+        """All-zero coefficients: constant truth or falsity."""
+        return all(c == 0 for c in self.coeffs)
+
+    def is_contradiction(self) -> bool:
+        return self.is_trivial() and self.const < 0
+
+    def normalized(self) -> "Constraint":
+        """Divide by the gcd of the coefficients (tightening the constant).
+
+        For integer points, ``g*ax + c >= 0`` equals ``ax + floor(c/g) >= 0``.
+        """
+        g = 0
+        for c in self.coeffs:
+            g = math.gcd(g, c)
+        if g <= 1:
+            return self
+        return Constraint(
+            tuple(c // g for c in self.coeffs), math.floor(self.const / g)
+        )
+
+    def render(self, names: Sequence[str]) -> str:
+        terms = []
+        for c, name in zip(self.coeffs, names):
+            if c == 0:
+                continue
+            if c == 1:
+                terms.append(f"+ {name}" if terms else name)
+            elif c == -1:
+                terms.append(f"- {name}" if terms else f"-{name}")
+            elif c > 0:
+                terms.append(f"+ {c}{name}" if terms else f"{c}{name}")
+            else:
+                terms.append(f"- {-c}{name}" if terms else f"-{-c}{name}")
+        if self.const > 0:
+            terms.append(f"+ {self.const}" if terms else str(self.const))
+        elif self.const < 0:
+            terms.append(f"- {-self.const}" if terms else str(self.const))
+        body = " ".join(terms) if terms else "0"
+        return f"{body} >= 0"
+
+
+class ConstraintSystem:
+    """A conjunction of linear constraints over named variables."""
+
+    def __init__(self, names: Sequence[str], constraints: Iterable[Constraint] = ()):
+        self.names = tuple(names)
+        self.constraints: list[Constraint] = []
+        for con in constraints:
+            self.add(con)
+
+    @property
+    def arity(self) -> int:
+        return len(self.names)
+
+    def add(self, constraint: Constraint) -> None:
+        if constraint.arity != self.arity:
+            raise ValueError(
+                f"constraint arity {constraint.arity} != system arity {self.arity}"
+            )
+        self.constraints.append(constraint.normalized())
+
+    def add_lower(self, var_index: int, bound: int) -> None:
+        """Add ``x[var_index] >= bound``."""
+        coeffs = [0] * self.arity
+        coeffs[var_index] = 1
+        self.add(Constraint(tuple(coeffs), -bound))
+
+    def add_upper(self, var_index: int, bound: int) -> None:
+        """Add ``x[var_index] <= bound``."""
+        coeffs = [0] * self.arity
+        coeffs[var_index] = -1
+        self.add(Constraint(tuple(coeffs), bound))
+
+    @classmethod
+    def from_nest(cls, nest: LoopNest) -> "ConstraintSystem":
+        """The rectangular iteration domain of a nest."""
+        system = cls(nest.index_names)
+        for k, loop in enumerate(nest.loops):
+            system.add_lower(k, loop.lower)
+            system.add_upper(k, loop.upper)
+        return system
+
+    @classmethod
+    def transformed_nest(
+        cls,
+        nest: LoopNest,
+        transformation: IntMatrix,
+        new_names: Sequence[str] | None = None,
+    ) -> "ConstraintSystem":
+        """Domain of ``u = T @ i`` where ``i`` ranges over the nest box.
+
+        Requires ``T`` unimodular; constraints become
+        ``lower_k <= (T^-1 u)_k <= upper_k``.
+        """
+        n = nest.depth
+        if transformation.shape != (n, n):
+            raise ValueError("transformation shape does not match nest depth")
+        inv = transformation.inverse_unimodular()
+        names = tuple(new_names) if new_names else tuple(f"u{k+1}" for k in range(n))
+        system = cls(names)
+        for k, loop in enumerate(nest.loops):
+            row = inv.row(k)
+            system.add(Constraint(row, -loop.lower))  # (T^-1 u)_k - lower >= 0
+            system.add(Constraint(tuple(-c for c in row), loop.upper))
+        return system
+
+    def satisfied_by(self, point: Sequence[int]) -> bool:
+        return all(con.satisfied_by(point) for con in self.constraints)
+
+    def is_trivially_infeasible(self) -> bool:
+        return any(con.is_contradiction() for con in self.constraints)
+
+    def copy(self) -> "ConstraintSystem":
+        return ConstraintSystem(self.names, list(self.constraints))
+
+    def render(self) -> str:
+        return "\n".join(con.render(self.names) for con in self.constraints)
+
+    def __repr__(self) -> str:
+        return f"ConstraintSystem({list(self.names)!r}, {len(self.constraints)} constraints)"

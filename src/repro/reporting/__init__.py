@@ -1,0 +1,18 @@
+"""Report rendering: Figure-2-style tables and experiment records."""
+
+from repro.reporting.tables import (
+    Figure2Row,
+    figure2_row,
+    figure2_table,
+    render_table,
+)
+from repro.reporting.export import figure2_csv, figure2_markdown
+
+__all__ = [
+    "Figure2Row",
+    "figure2_row",
+    "figure2_table",
+    "render_table",
+    "figure2_markdown",
+    "figure2_csv",
+]

@@ -1,0 +1,67 @@
+"""Machine-readable exports of experiment results: Markdown and CSV.
+
+``EXPERIMENTS.md``-style tables straight from measured rows, so reports
+never drift from the code that produced them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence
+
+from repro.reporting.tables import Figure2Row
+
+
+def figure2_markdown(rows: Sequence[Figure2Row]) -> str:
+    """A GitHub-Markdown table of measured vs paper reductions.
+
+    >>> from repro.reporting.tables import Figure2Row
+    >>> row = Figure2Row("demo", 100, 20, 5, 75.0, 90.0)
+    >>> print(figure2_markdown([row]).splitlines()[2])
+    | demo | 100 | 20 | 80.0 (75.0) | 5 | 95.0 (90.0) |
+    """
+    lines = [
+        "| code | default | MWS unopt | red% (paper) | MWS opt | red% (paper) |",
+        "|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row.name} | {row.default} | {row.mws_unopt} "
+            f"| {row.unopt_reduction:.1f} ({row.paper_unopt_reduction:.1f}) "
+            f"| {row.mws_opt} "
+            f"| {row.opt_reduction:.1f} ({row.paper_opt_reduction:.1f}) |"
+        )
+    if rows:
+        avg_unopt = sum(r.unopt_reduction for r in rows) / len(rows)
+        avg_opt = sum(r.opt_reduction for r in rows) / len(rows)
+        paper_unopt = sum(r.paper_unopt_reduction for r in rows) / len(rows)
+        paper_opt = sum(r.paper_opt_reduction for r in rows) / len(rows)
+        lines.append(
+            f"| **Average** | | | **{avg_unopt:.1f} ({paper_unopt:.1f})** | "
+            f"| **{avg_opt:.1f} ({paper_opt:.1f})** |"
+        )
+    return "\n".join(lines)
+
+
+def figure2_csv(rows: Sequence[Figure2Row]) -> str:
+    """CSV export with one row per kernel (for spreadsheets/plots)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(
+        [
+            "code", "default", "mws_unopt", "unopt_reduction_pct",
+            "paper_unopt_reduction_pct", "mws_opt", "opt_reduction_pct",
+            "paper_opt_reduction_pct",
+        ]
+    )
+    for row in rows:
+        writer.writerow(
+            [
+                row.name, row.default, row.mws_unopt,
+                f"{row.unopt_reduction:.2f}", f"{row.paper_unopt_reduction:.2f}",
+                row.mws_opt, f"{row.opt_reduction:.2f}",
+                f"{row.paper_opt_reduction:.2f}",
+            ]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,85 @@
+"""Figure-2 table generation.
+
+One row per kernel: declared (default) memory, MWS before and after
+optimization, percentage reductions — exactly the columns of the paper's
+Figure 2 — plus the surviving paper values for side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.optimizer import optimize_program
+from repro.kernels.suite import KernelSpec
+
+
+@dataclass(frozen=True)
+class Figure2Row:
+    """One measured row of the Figure-2 table."""
+
+    name: str
+    default: int
+    mws_unopt: int
+    mws_opt: int
+    paper_unopt_reduction: float
+    paper_opt_reduction: float
+
+    @property
+    def unopt_reduction(self) -> float:
+        """Percent reduction of MWS_unopt vs. default."""
+        return 100.0 * (1.0 - self.mws_unopt / self.default)
+
+    @property
+    def opt_reduction(self) -> float:
+        return 100.0 * (1.0 - self.mws_opt / self.default)
+
+
+def figure2_row(spec: KernelSpec) -> Figure2Row:
+    """Run the pipeline on one kernel and produce its table row."""
+    program = spec.build()
+    result = optimize_program(program)
+    return Figure2Row(
+        name=spec.name,
+        default=program.default_memory,
+        mws_unopt=result.mws_before,
+        mws_opt=result.mws_after,
+        paper_unopt_reduction=spec.paper_unopt_reduction,
+        paper_opt_reduction=spec.paper_opt_reduction,
+    )
+
+
+def figure2_table(specs: Iterable[KernelSpec]) -> list[Figure2Row]:
+    """Measured rows for a collection of kernels."""
+    return [figure2_row(spec) for spec in specs]
+
+
+def render_table(rows: Sequence[Figure2Row]) -> str:
+    """Render rows in the paper's layout, paper percentages alongside.
+
+    The ``Average Reduction`` footer mirrors the paper's (mean of the
+    per-kernel percentage reductions).
+    """
+    header = (
+        f"{'code':<12} {'default':>8} {'MWS unopt':>10} {'(red%)':>8} "
+        f"{'paper%':>7} {'MWS opt':>8} {'(red%)':>8} {'paper%':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<12} {row.default:>8} {row.mws_unopt:>10} "
+            f"{row.unopt_reduction:>7.1f}% {row.paper_unopt_reduction:>6.1f}% "
+            f"{row.mws_opt:>8} {row.opt_reduction:>7.1f}% "
+            f"{row.paper_opt_reduction:>6.1f}%"
+        )
+    if rows:
+        avg_unopt = sum(r.unopt_reduction for r in rows) / len(rows)
+        avg_opt = sum(r.opt_reduction for r in rows) / len(rows)
+        paper_unopt = sum(r.paper_unopt_reduction for r in rows) / len(rows)
+        paper_opt = sum(r.paper_opt_reduction for r in rows) / len(rows)
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'Average':<12} {'':>8} {'':>10} {avg_unopt:>7.1f}% "
+            f"{paper_unopt:>6.1f}% {'':>8} {avg_opt:>7.1f}% {paper_opt:>6.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Section 4: unimodular loop transformations minimizing the window size.
+
+``legality`` and ``tileability`` predicates, elementary transformation
+generators, completion of a partial first row to a full legal unimodular
+matrix, the MWS-minimizing search, and the two baselines the paper
+compares against (Eisenbeis et al.'s interchange+reversal search and Li &
+Pingali's access-matrix completion).
+"""
+
+from repro.transform.legality import (
+    is_legal,
+    is_tileable,
+    transformed_distances,
+)
+from repro.transform.elementary import (
+    interchange,
+    reversal,
+    signed_permutations,
+    skew,
+)
+from repro.transform.completion import (
+    complete_first_row_2d,
+    complete_rows_legal,
+)
+from repro.transform.search import (
+    SearchResult,
+    exhaustive_search,
+    search_best_transformation,
+    search_mws_2d,
+    search_mws_3d,
+)
+from repro.transform.eisenbeis import eisenbeis_search
+from repro.transform.li_pingali import li_pingali_transformation
+from repro.transform.distribution import (
+    distribute,
+    is_distribution_legal,
+    statement_dependence_graph,
+)
+from repro.transform.fusion import (
+    FusionError,
+    can_fuse,
+    fuse,
+    fusion_memory_report,
+)
+from repro.transform.window_allocation import (
+    ModuloAllocation,
+    allocate_window,
+    modulo_is_valid,
+    rewrite_with_buffer,
+)
+from repro.transform.tiling import (
+    is_fully_permutable,
+    pick_tile_size,
+    tile_footprint,
+)
+
+__all__ = [
+    "is_legal",
+    "is_tileable",
+    "transformed_distances",
+    "interchange",
+    "reversal",
+    "skew",
+    "signed_permutations",
+    "complete_first_row_2d",
+    "complete_rows_legal",
+    "SearchResult",
+    "search_mws_2d",
+    "search_mws_3d",
+    "search_best_transformation",
+    "exhaustive_search",
+    "eisenbeis_search",
+    "li_pingali_transformation",
+    "distribute",
+    "is_distribution_legal",
+    "statement_dependence_graph",
+    "FusionError",
+    "can_fuse",
+    "fuse",
+    "fusion_memory_report",
+    "ModuloAllocation",
+    "allocate_window",
+    "modulo_is_valid",
+    "rewrite_with_buffer",
+    "is_fully_permutable",
+    "pick_tile_size",
+    "tile_footprint",
+]

@@ -1,0 +1,127 @@
+"""Completion of partial transformations to legal unimodular matrices.
+
+Section 4.2: the search chooses the first row ``(a, b)`` of ``T``; the
+remaining row ``(c, d)`` must satisfy ``a*d - b*c = 1`` (unimodularity)
+and the tiling constraints ``c*d_i1 + d*d_i2 >= 0`` for every dependence
+distance.  With ``ext_gcd`` giving one solution, the full solution line is
+``(c0 + t*a, d0 + t*b)`` and the constraints become one-sided bounds on
+``t`` — solvable exactly.  Example 8's ``(a, b) = (2, 3)`` completes to
+``(c, d) = (1, 2)`` as the paper states.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.linalg import IntMatrix, complete_unimodular, ext_gcd
+from repro.linalg.gcd import ceil_div
+
+
+def complete_first_row_2d(
+    a: int, b: int, distances: Sequence[Sequence[int]]
+) -> IntMatrix | None:
+    """Complete ``(a, b)`` to a tileable unimodular ``[[a, b], [c, d]]``.
+
+    Both determinant signs are tried: a distance with ``a*d1 + b*d2 == 0``
+    pins the sign of the second-row dot product, and only one of the two
+    solution families can satisfy it.  (Paper Example 8: ``(a, b) =
+    (2, 3)`` with distances ``(3,-2), (2,0), (5,-2)`` completes only with
+    ``det = -1``, giving ``(c, d) = (1, 1)``; the printed ``(1, 2)``
+    violates the paper's own constraint ``3c - 2d >= 0``.)
+
+    Returns None when ``gcd(a, b) != 1`` or no ``(c, d)`` satisfies the
+    tiling constraints.  The feasible ``t`` closest to zero is chosen, so
+    entries stay small.
+
+    >>> complete_first_row_2d(2, 3, [(3, -2), (2, 0), (5, -2)])
+    IntMatrix([[2, 3], [1, 1]])
+    """
+    g, x, y = ext_gcd(a, b)
+    if g != 1:
+        return None
+    for det_sign in (1, -1):
+        # a*d - b*c = det_sign; base solution from a*x + b*y = 1.
+        d0, c0 = det_sign * x, -det_sign * y
+        # Solution family: (c, d) = (c0 + t*a, d0 + t*b).
+        t_lower: int | None = None
+        feasible = True
+        for dist in distances:
+            d1, d2 = dist
+            slope = a * d1 + b * d2  # also the first-row tiling dot
+            base = c0 * d1 + d0 * d2
+            if slope > 0:
+                bound = ceil_div(-base, slope)
+                t_lower = bound if t_lower is None else max(t_lower, bound)
+            elif slope == 0 and base < 0:
+                feasible = False
+                break
+            elif slope < 0:
+                # First row itself violates tiling for this distance.
+                return None
+        if not feasible:
+            continue
+        t = max(0, t_lower) if t_lower is not None else 0
+        c, d = c0 + t * a, d0 + t * b
+        result = IntMatrix([[a, b], [c, d]])
+        assert result.det() == det_sign
+        return result
+    return None
+
+
+def complete_rows_legal(
+    rows: Sequence[Sequence[int]],
+    distances: Sequence[Sequence[int]],
+) -> IntMatrix | None:
+    """Complete ``rows`` to an ``n x n`` unimodular matrix whose transformed
+    distances are all non-negative (tileable), or None.
+
+    Strategy: extend with :func:`complete_unimodular`, then fix any
+    negative dot products in the appended rows by adding multiples of
+    earlier rows with positive dots (which leaves the determinant
+    unchanged).  Not complete in general — a full integer-programming
+    completion is outside the paper's scope — but covers the paper's 2-D
+    and 3-D constructions.
+    """
+    try:
+        candidate = complete_unimodular(rows)
+    except ValueError:
+        return None
+    n = candidate.n_rows
+    matrix = candidate.to_lists()
+    dists = [tuple(d) for d in distances]
+    for row_index in range(len(rows), n):
+        for dist in dists:
+            dot = sum(matrix[row_index][k] * dist[k] for k in range(n))
+            if dot >= 0:
+                continue
+            fixed = False
+            helper_dots = [
+                sum(matrix[helper][k] * dist[k] for k in range(n))
+                for helper in range(row_index)
+            ]
+            for helper, helper_dot in enumerate(helper_dots):
+                if helper_dot > 0:
+                    mult = ceil_div(-dot, helper_dot)
+                    matrix[row_index] = [
+                        x + mult * y
+                        for x, y in zip(matrix[row_index], matrix[helper])
+                    ]
+                    fixed = True
+                    break
+            if not fixed and all(hd == 0 for hd in helper_dots):
+                # Every leading row annihilates this distance, so negating
+                # the offending row flips its dot without disturbing the
+                # leading rows' constraints (determinant stays +-1).
+                matrix[row_index] = [-x for x in matrix[row_index]]
+                fixed = True
+            if not fixed:
+                return None
+    result = IntMatrix(matrix)
+    # Re-check every constraint (fixing one distance can disturb another).
+    for dist in dists:
+        if any(v < 0 for v in result.apply(dist)):
+            return None
+    if result.det() not in (1, -1):
+        return None
+    return result

@@ -1,0 +1,130 @@
+"""Loop distribution (fission) — the inverse of fusion.
+
+Splitting a multi-statement nest into per-statement nests shrinks each
+nest's instruction footprint and enables per-nest transformations, at the
+price of materializing inter-nest buffers (the exact trade
+:mod:`repro.transform.fusion` measures from the other side).
+
+Legality: statements must be partitioned so that every cross-partition
+dependence flows forward (from an earlier nest to a later one).  A
+*backward* dependence — statement ``S2`` producing what ``S1`` consumes
+at a lexicographically earlier iteration — forms a cycle with any forward
+dependence between the same pair and forces the statements to stay
+together.  The standard algorithm groups statements by the strongly
+connected components of the statement dependence graph and emits them in
+topological order.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.ir.program import Program
+from repro.ir.sequence import ProgramSequence
+
+
+def statement_dependence_graph(program: Program) -> nx.DiGraph:
+    """Statement-level graph with loop-carried and loop-independent edges.
+
+    Edge ``S -> T`` means some instance of ``T`` depends on an earlier-or-
+    equal instance of ``S`` (flow/anti/output; input reuse imposes
+    nothing).  Loop-independent (same-iteration) dependences follow
+    textual order.
+    """
+    from repro.dependence.analysis import dependence_distance
+
+    graph = nx.DiGraph()
+    order = {stmt.label: k for k, stmt in enumerate(program.statements)}
+    for stmt in program.statements:
+        graph.add_node(stmt.label)
+    for src_stmt in program.statements:
+        for dst_stmt in program.statements:
+            for src in src_stmt.references:
+                for dst in dst_stmt.references:
+                    if src.array != dst.array:
+                        continue
+                    if not (src.is_write or dst.is_write):
+                        continue
+                    if not src.uniformly_generated_with(dst):
+                        # Conservative: unknown distance, assume both ways.
+                        graph.add_edge(src_stmt.label, dst_stmt.label)
+                        graph.add_edge(dst_stmt.label, src_stmt.label)
+                        continue
+                    if src.offset == dst.offset:
+                        # Same element, same iteration: textual order...
+                        if order[src_stmt.label] < order[dst_stmt.label]:
+                            graph.add_edge(src_stmt.label, dst_stmt.label)
+                        elif order[src_stmt.label] > order[dst_stmt.label]:
+                            graph.add_edge(dst_stmt.label, src_stmt.label)
+                        # ...and, when the access matrix is singular, the
+                        # same element is revisited at later iterations
+                        # (kernel direction), carrying dependences both
+                        # ways between the statements.
+                        from repro.dependence.analysis import self_reuse_distance
+
+                        if self_reuse_distance(src) is not None:
+                            graph.add_edge(src_stmt.label, dst_stmt.label)
+                            graph.add_edge(dst_stmt.label, src_stmt.label)
+                        continue
+                    d = dependence_distance(src, dst)
+                    if d is not None and any(v != 0 for v in d):
+                        graph.add_edge(src_stmt.label, dst_stmt.label)
+    return graph
+
+
+def distribute(program: Program) -> ProgramSequence:
+    """Split a nest into the finest legal sequence of sub-nests.
+
+    Statements in one strongly connected component stay together; the
+    components are emitted in a topological order consistent with the
+    textual order (stable for independent components).
+
+    >>> from repro.ir import parse_program
+    >>> p = parse_program('''
+    ... for i = 1 to 9 {
+    ...   S1: T[i] = A[i]
+    ...   S2: B[i] = T[i] + T[i-1]
+    ... }
+    ... ''', name="pair")
+    >>> [len(nest.statements) for nest in distribute(p).programs]
+    [1, 1]
+    """
+    graph = statement_dependence_graph(program)
+    condensed = nx.condensation(graph)
+    order = {stmt.label: k for k, stmt in enumerate(program.statements)}
+    # Topological order of components, tie-broken by textual position.
+    component_key = {
+        node: min(order[label] for label in data["members"])
+        for node, data in condensed.nodes(data=True)
+    }
+    topo = list(
+        nx.lexicographical_topological_sort(condensed, key=lambda n: component_key[n])
+    )
+
+    by_label = {stmt.label: stmt for stmt in program.statements}
+    nests = []
+    for index, node in enumerate(topo):
+        members = sorted(condensed.nodes[node]["members"], key=order.get)
+        statements = [by_label[label] for label in members]
+        decls = [
+            decl
+            for decl in program.decls
+            if any(decl.name in stmt.arrays for stmt in statements)
+        ]
+        nests.append(
+            Program(
+                program.nest,
+                statements,
+                decls,
+                name=f"{program.name}_part{index + 1}",
+            )
+        )
+    return ProgramSequence(nests, name=f"{program.name}_distributed")
+
+
+def is_distribution_legal(program: Program) -> bool:
+    """Can the nest be split at all (more than one component)?"""
+    graph = statement_dependence_graph(program)
+    return nx.number_strongly_connected_components(graph) > 1 or len(
+        program.statements
+    ) == 1

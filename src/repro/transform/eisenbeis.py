@@ -1,0 +1,36 @@
+"""Baseline: Eisenbeis et al. — interchange and reversal only.
+
+The paper's Example 7 comparison point: the window-minimization strategy
+of Eisenbeis, Jalby, Windheiser and Bodin searches only loop interchange
+and reversal (the signed permutations), which cannot align the iteration
+order with a skewed reuse direction.  Our compound search beats it by
+orders of magnitude on such loops (89 -> 36 vs. -> 1 in Example 7).
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.transform.elementary import signed_permutations
+from repro.transform.legality import is_legal, ordering_distances
+from repro.transform.search import SearchResult
+from repro.window.simulator import max_window_size
+
+
+def eisenbeis_search(program: Program, array: str) -> SearchResult:
+    """Best legal signed permutation by exact window size.
+
+    Tiling is not enforced — the original strategy predates tiling-aware
+    legality and simply requires dependence preservation.
+    """
+    order_dists = ordering_distances(program, array)
+    best = None
+    examined = 0
+    for t in signed_permutations(program.nest.depth):
+        examined += 1
+        if not is_legal(t, order_dists):
+            continue
+        exact = max_window_size(program, array, t)
+        if best is None or exact < best[0]:
+            best = (exact, t)
+    exact, t = best
+    return SearchResult(array, t, exact, exact, examined, "eisenbeis")

@@ -1,0 +1,94 @@
+"""Elementary unimodular transformations.
+
+Wolf & Lam: every unimodular transformation factors into loop interchange
+(permutation), reversal (negating one index) and skewing (adding an
+integer multiple of one index to another).  These generators both build
+compound transformations and span the baseline search spaces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.linalg import IntMatrix
+
+
+def interchange(n: int, level_a: int, level_b: int) -> IntMatrix:
+    """Swap loop levels ``level_a`` and ``level_b`` (0-based).
+
+    >>> interchange(2, 0, 1)
+    IntMatrix([[0, 1], [1, 0]])
+    """
+    rows = IntMatrix.identity(n).to_lists()
+    rows[level_a], rows[level_b] = rows[level_b], rows[level_a]
+    return IntMatrix(rows)
+
+
+def reversal(n: int, level: int) -> IntMatrix:
+    """Reverse loop ``level`` (0-based).
+
+    >>> reversal(2, 0)
+    IntMatrix([[-1, 0], [0, 1]])
+    """
+    rows = IntMatrix.identity(n).to_lists()
+    rows[level][level] = -1
+    return IntMatrix(rows)
+
+
+def skew(n: int, target: int, source: int, factor: int) -> IntMatrix:
+    """Skew loop ``target`` by ``factor`` times loop ``source``.
+
+    The transformed index is ``u_target = i_target + factor * i_source``.
+
+    >>> skew(2, 1, 0, 1)
+    IntMatrix([[1, 0], [1, 1]])
+    """
+    if target == source:
+        raise ValueError("cannot skew a loop by itself")
+    rows = IntMatrix.identity(n).to_lists()
+    rows[target][source] = factor
+    return IntMatrix(rows)
+
+
+def signed_permutations(n: int) -> Iterator[IntMatrix]:
+    """All compositions of interchanges and reversals: the ``2^n * n!``
+    signed permutation matrices — Eisenbeis et al.'s search space.
+
+    >>> len(list(signed_permutations(2)))
+    8
+    """
+    for perm in itertools.permutations(range(n)):
+        for signs in itertools.product((1, -1), repeat=n):
+            rows = []
+            for target, sign in zip(perm, signs):
+                row = [0] * n
+                row[target] = sign
+                rows.append(row)
+            yield IntMatrix(rows)
+
+
+def bounded_unimodular_matrices(n: int, bound: int) -> Iterator[IntMatrix]:
+    """All unimodular ``n x n`` matrices with entries in ``[-bound, bound]``.
+
+    Exhaustive-search space for ablations; the count grows steeply with
+    ``n`` and ``bound``, so keep both small (n <= 3, bound <= 2 is ~10^4
+    determinant checks for n = 3).
+    """
+    entries = range(-bound, bound + 1)
+    if n == 2:
+        for a, b, c, d in itertools.product(entries, repeat=4):
+            if a * d - b * c in (1, -1):
+                yield IntMatrix([[a, b], [c, d]])
+        return
+    if n == 3:
+        for flat in itertools.product(entries, repeat=9):
+            a, b, c, d, e, f, g, h, i = flat
+            det = a * (e * i - f * h) - b * (d * i - f * g) + c * (d * h - e * g)
+            if det in (1, -1):
+                yield IntMatrix([flat[0:3], flat[3:6], flat[6:9]])
+        return
+    for flat in itertools.product(entries, repeat=n * n):
+        m = IntMatrix([list(flat[k * n:(k + 1) * n]) for k in range(n)])
+        if m.det() in (1, -1):
+            yield m

@@ -1,0 +1,102 @@
+"""Legality and tileability of unimodular transformations.
+
+A transformation ``T`` is *legal* when every order-constraining dependence
+distance ``d`` stays lexicographically positive after transformation
+(``T @ d`` lex-positive) — the transformed nest then executes sources
+before sinks.  It is *tileable* (paper Section 4, after Irigoin & Triolet)
+when ``T @ d >= 0`` componentwise — every loop of the transformed nest
+carries all dependences forward, so rectangular blocks of iterations can
+execute atomically.  Tileability implies legality for nonzero distances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dependence.analysis import Dependence
+from repro.dependence.distance import is_lex_positive
+from repro.ir.program import Program
+from repro.linalg import IntMatrix
+
+
+def transformed_distances(
+    transformation: IntMatrix, distances: Iterable[Sequence[int]]
+) -> list[tuple[int, ...]]:
+    """Apply ``T`` to each distance vector (``T @ d``)."""
+    return [transformation.apply(d) for d in distances]
+
+
+def is_legal(
+    transformation: IntMatrix, distances: Iterable[Sequence[int]]
+) -> bool:
+    """All transformed distances lexicographically positive.
+
+    >>> is_legal(IntMatrix([[0, 1], [1, 0]]), [(1, 0)])
+    True
+    >>> is_legal(IntMatrix([[1, 0], [0, -1]]), [(0, 1)])
+    False
+    """
+    return all(
+        is_lex_positive(transformation.apply(d)) for d in distances
+    )
+
+
+def is_tileable(
+    transformation: IntMatrix, distances: Iterable[Sequence[int]]
+) -> bool:
+    """All transformed distance components non-negative (``T d >= 0``).
+
+    >>> is_tileable(IntMatrix([[2, 3], [1, 1]]), [(3, -2), (2, 0), (5, -2)])
+    True
+    """
+    for d in distances:
+        if any(component < 0 for component in transformation.apply(d)):
+            return False
+    return True
+
+
+def ordering_distances(
+    program: Program,
+    array: str | None = None,
+    reductions_reorderable: bool = True,
+) -> list[tuple[int, ...]]:
+    """Distance vectors that constrain ordering (flow/anti/output).
+
+    Input (read-read) dependences impose no ordering; the paper's legality
+    constraints in Example 8 use exactly the flow, anti and output
+    distances.  Dependences among scalar-in-nest accumulators are
+    reduction updates and are excluded unless ``reductions_reorderable``
+    is False.  ``array=None`` collects over all uniformly generated
+    arrays.
+    """
+    from repro.dependence.analysis import array_dependences
+
+    arrays = [array] if array is not None else [
+        a for a in program.arrays if program.is_uniformly_generated(a)
+    ]
+    seen: dict[tuple[int, ...], None] = {}
+    for name in arrays:
+        if not program.is_uniformly_generated(name):
+            raise ValueError(f"{name}: non-uniform references")
+        for dep in array_dependences(program, name, include_input=True):
+            if not dep.kind.constrains_order:
+                continue
+            if reductions_reorderable and dep.reduction:
+                continue
+            seen.setdefault(dep.distance, None)
+    return list(seen)
+
+
+def reuse_distances(program: Program, array: str | None = None) -> list[tuple[int, ...]]:
+    """All reuse distances (including input dependences) — what the window
+    optimization must push to inner levels."""
+    from repro.dependence.analysis import array_distance_vectors
+
+    arrays = [array] if array is not None else [
+        a for a in program.arrays if program.is_uniformly_generated(a)
+    ]
+    seen: dict[tuple[int, ...], None] = {}
+    for name in arrays:
+        for d in array_distance_vectors(program, name, include_input=True):
+            seen.setdefault(d, None)
+    return list(seen)

@@ -1,0 +1,83 @@
+"""Baseline: Li & Pingali's access-matrix completion.
+
+Li & Pingali derive a partial transformation whose leading rows are the
+subscript functions of the array accesses (offsets dropped) and complete
+it to a unimodular matrix.  This exploits reuse from input and output
+dependences, but — as the paper's Example 8 shows — the required first row
+(``(2, 5)`` or ``(-2, 5)`` there) can be illegal against flow or anti
+dependences, in which case no completion exists and the method returns
+nothing while the paper's search still finds a window-shrinking matrix.
+"""
+
+from __future__ import annotations
+
+from repro.dependence.distance import is_lex_positive
+from repro.ir.program import Program
+from repro.linalg import IntMatrix
+from repro.linalg.nullspace import primitive_vector
+from repro.transform.completion import complete_rows_legal
+from repro.transform.legality import is_legal, ordering_distances
+
+
+def li_pingali_transformation(
+    program: Program, array: str
+) -> IntMatrix | None:
+    """The Li-Pingali matrix for ``array``, or None when illegal.
+
+    Tries the primitive access row and its negation as the partial
+    transformation (both orientations of the data access direction), then
+    completes; every candidate must keep all ordering dependences legal.
+
+    >>> from repro.ir import parse_program
+    >>> p = parse_program('''
+    ... for i = 1 to 25 {
+    ...   for j = 1 to 10 {
+    ...     X[2*i + 5*j + 1] = X[2*i + 5*j + 5]
+    ...   }
+    ... }
+    ... ''')
+    >>> li_pingali_transformation(p, "X") is None
+    True
+    """
+    refs = program.refs_to(array)
+    if not refs:
+        raise KeyError(array)
+    if not program.is_uniformly_generated(array):
+        raise ValueError(f"{array}: non-uniform references")
+    order_dists = ordering_distances(program, array)
+    access = refs[0].access
+    rows = [primitive_vector(access.row(k)) for k in range(access.n_rows)]
+    n = program.nest.depth
+
+    for orientation in (1, -1):
+        oriented = [tuple(orientation * v for v in row) for row in rows]
+        # The partial transformation is legal iff every ordering distance
+        # keeps a lex-positive prefix: the leading rows' dot products must
+        # not make any distance lex-negative before completion.
+        if any(
+            _prefix_lex_negative([sum(r * d for r, d in zip(row, dist)) for row in oriented])
+            for dist in order_dists
+        ):
+            continue
+        completed = complete_rows_legal(oriented[: n - 1] if len(oriented) >= n else oriented, order_dists)
+        if completed is None:
+            # Completion may still exist without the tiling requirement;
+            # fall back to a plain unimodular completion + legality check.
+            from repro.linalg import complete_unimodular
+
+            try:
+                completed = complete_unimodular(oriented[: min(len(oriented), n - 1)] or oriented)
+            except ValueError:
+                continue
+        if completed is not None and is_legal(completed, order_dists):
+            return completed
+    return None
+
+
+def _prefix_lex_negative(prefix: list[int]) -> bool:
+    """True when the computed leading components already force
+    lex-negativity (first nonzero is negative)."""
+    for v in prefix:
+        if v != 0:
+            return v < 0
+    return False

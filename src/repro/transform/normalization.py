@@ -1,0 +1,70 @@
+"""Loop normalization: shift every loop to a unit lower bound.
+
+Several closed forms (and the paper's own exposition) assume loops of the
+form ``for i = 1 to N``.  Shifting ``i -> i' + (lower - 1)`` is an affine
+change of coordinates that leaves every analysis result unchanged:
+dependences, windows and counts are translation-invariant.  Normalizing
+lets the exact multi-reference machinery and the symbolic forms apply to
+arbitrarily-bounded inputs.
+"""
+
+from __future__ import annotations
+
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.program import Program
+from repro.ir.reference import ArrayRef
+from repro.ir.statement import Statement
+
+
+def is_unit_based(program: Program) -> bool:
+    """All loop lower bounds equal to 1?"""
+    return all(loop.lower == 1 for loop in program.nest.loops)
+
+
+def normalize_lower_bounds(program: Program) -> Program:
+    """An equivalent program whose loops all start at 1.
+
+    Substitutes ``i_k = i'_k + (lower_k - 1)`` in every access: the access
+    matrix is unchanged, offsets absorb ``A @ (lower - 1)``.
+
+    >>> from repro.ir import parse_program
+    >>> p = parse_program("for i = 0 to 9 { A[2*i + 1] = A[2*i - 1] }")
+    >>> q = normalize_lower_bounds(p)
+    >>> q.nest.lowers
+    (1,)
+    >>> q.statements[0].writes[0].offset  # 2*(i'+(-1)) + 1 = 2*i' - 1
+    (-1,)
+    """
+    if is_unit_based(program):
+        return program
+    shifts = [loop.lower - 1 for loop in program.nest.loops]
+    new_nest = LoopNest(
+        [
+            Loop(loop.index, 1, loop.trip_count)
+            for loop in program.nest.loops
+        ]
+    )
+
+    def shift_ref(ref: ArrayRef) -> ArrayRef:
+        delta = ref.access.apply(shifts)
+        return ArrayRef(
+            ref.array,
+            ref.access,
+            tuple(o + d for o, d in zip(ref.offset, delta)),
+            ref.kind,
+        )
+
+    statements = [
+        Statement(
+            stmt.label,
+            tuple(shift_ref(r) for r in stmt.writes),
+            tuple(shift_ref(r) for r in stmt.reads),
+        )
+        for stmt in program.statements
+    ]
+    return Program(
+        new_nest,
+        statements,
+        tuple(program._explicit_decls.values()),
+        name=program.name,
+    )

@@ -1,0 +1,94 @@
+"""Tiling support: permutability, tile footprints and tile-size selection.
+
+The paper requires transformed nests to be *tileable* so data can be
+moved in block transfers (Section 4.1, citing Irigoin & Triolet and Wolf
+& Lam).  Once a nest is fully permutable, a rectangular tile of the
+transformed iteration space touches a bounded data footprint; choosing
+the largest tile whose footprint fits the on-chip buffer minimizes
+off-chip traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.program import Program
+from repro.linalg import IntMatrix
+from repro.transform.legality import is_tileable, ordering_distances
+
+
+def is_fully_permutable(
+    program: Program, transformation: IntMatrix | None = None
+) -> bool:
+    """True when every ordering dependence has all components >= 0 in the
+    (transformed) nest — any loop order, and hence rectangular tiling, is
+    legal.
+    """
+    distances = []
+    for array in program.arrays:
+        if program.is_uniformly_generated(array):
+            distances.extend(ordering_distances(program, array))
+    t = transformation if transformation is not None else IntMatrix.identity(program.nest.depth)
+    return is_tileable(t, distances)
+
+
+def tile_footprint(
+    program: Program,
+    tile_sizes: Sequence[int],
+    transformation: IntMatrix | None = None,
+) -> int:
+    """Exact distinct elements touched by the first full tile.
+
+    Measures the tile at the lower-left corner of the (transformed)
+    iteration space by enumeration; with uniformly generated references
+    every full tile touches the same count, so one tile suffices.
+    """
+    n = program.nest.depth
+    if len(tile_sizes) != n:
+        raise ValueError("tile rank != nest depth")
+    points = list(program.nest.iterate())
+    if transformation is not None:
+        points = [transformation.apply(p) for p in points]
+        inverse = transformation.inverse_unimodular()
+    else:
+        inverse = None
+    origin = min(points)
+    touched: set[tuple] = set()
+    for point in points:
+        if all(o <= x < o + s for x, o, s in zip(point, origin, tile_sizes)):
+            original = inverse.apply(point) if inverse is not None else point
+            for ref in program.references:
+                touched.add((ref.array, ref.element(original)))
+    return len(touched)
+
+
+def pick_tile_size(
+    program: Program,
+    capacity: int,
+    transformation: IntMatrix | None = None,
+    max_size: int = 64,
+) -> tuple[int, ...]:
+    """Largest square tile whose footprint fits ``capacity`` elements.
+
+    Doubling search then refinement; returns ``(s, ..., s)``.  A capacity
+    below the single-iteration footprint returns the unit tile.
+    """
+    n = program.nest.depth
+    best = 1
+    size = 1
+    while size <= max_size:
+        footprint = tile_footprint(program, (size,) * n, transformation)
+        if footprint <= capacity:
+            best = size
+            size *= 2
+        else:
+            break
+    # Refine between best and the failed size.
+    low, high = best, min(size, max_size)
+    while low + 1 < high:
+        mid = (low + high) // 2
+        if tile_footprint(program, (mid,) * n, transformation) <= capacity:
+            low = mid
+        else:
+            high = mid
+    return (low,) * n

@@ -1,0 +1,18 @@
+"""Text-mode visualization: iteration spaces, window profiles, graphs.
+
+Dependency-free renderings for terminals and docs: the Figure-1-style
+iteration-space plot with its shaded reuse region, sparkline/bar window
+profiles, and Graphviz DOT export of dependence graphs.
+"""
+
+from repro.viz.iteration_space import render_iteration_space, render_reuse_region
+from repro.viz.profiles import render_profile_bars, sparkline
+from repro.viz.graphs import dependence_graph_dot
+
+__all__ = [
+    "render_iteration_space",
+    "render_reuse_region",
+    "sparkline",
+    "render_profile_bars",
+    "dependence_graph_dot",
+]

@@ -1,0 +1,67 @@
+"""Sparklines and bar renderings of window profiles."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[int], width: int = 60) -> str:
+    """One-line density plot of a series, resampled to ``width`` chars.
+
+    >>> sparkline([0, 1, 2, 3], width=4)
+    ' -*@'
+    """
+    values = list(values)
+    if not values:
+        return ""
+    peak = max(values)
+    if len(values) > width:
+        # Max-pool resample so peaks survive downsampling.
+        bucket = len(values) / width
+        resampled = [
+            max(values[int(k * bucket): max(int((k + 1) * bucket), int(k * bucket) + 1)])
+            for k in range(width)
+        ]
+    else:
+        resampled = values
+    if peak == 0:
+        return " " * len(resampled)
+    out = []
+    top = len(_SPARK_CHARS) - 1
+    for v in resampled:
+        out.append(_SPARK_CHARS[round(v / peak * top)])
+    return "".join(out)
+
+
+def render_profile_bars(
+    values: Sequence[int],
+    height: int = 8,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Multi-line bar chart of a window profile.
+
+    The y-axis is labeled with the peak (the MWS) and zero.
+    """
+    values = list(values)
+    if not values:
+        return title
+    peak = max(values)
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [
+            max(values[int(k * bucket): max(int((k + 1) * bucket), int(k * bucket) + 1)])
+            for k in range(width)
+        ]
+    lines = []
+    if title:
+        lines.append(title)
+    for level in range(height, 0, -1):
+        threshold = peak * level / height if peak else 1
+        row = "".join("#" if v >= threshold else " " for v in values)
+        label = f"{peak:>5} |" if level == height else "      |"
+        lines.append(label + row)
+    lines.append("    0 +" + "-" * len(values))
+    return "\n".join(lines)

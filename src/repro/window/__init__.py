@@ -1,0 +1,44 @@
+"""Reference windows and the maximum window size (MWS).
+
+Paper Section 2.3: the reference window ``W_X(I)`` is the set of elements
+of ``X`` already referenced at or before iteration ``I`` that will be
+referenced again strictly after ``I`` — precisely the elements a minimal
+on-chip buffer must hold at that moment.  ``MWS = max_I |W_X(I)|`` is the
+minimum buffer size that avoids re-fetching any element.
+
+This package provides the exact sweep simulator (ground truth under any
+unimodular re-ordering) and the paper's closed-form estimates for 2-D
+(eq. (2)) and 3-D (Section 4.3) nests.
+"""
+
+from repro.window.simulator import (
+    WindowProfile,
+    element_lifetimes,
+    max_total_window,
+    max_window_size,
+    window_profile,
+)
+from repro.window.mws import (
+    mws_2d_estimate,
+    mws_2d_for_array,
+    mws_3d_estimate,
+    mws_3d_for_ref,
+)
+from repro.window.lifetime import (
+    LifetimeStats,
+    lifetime_stats,
+)
+
+__all__ = [
+    "WindowProfile",
+    "element_lifetimes",
+    "window_profile",
+    "max_window_size",
+    "max_total_window",
+    "mws_2d_estimate",
+    "mws_2d_for_array",
+    "mws_3d_estimate",
+    "mws_3d_for_ref",
+    "LifetimeStats",
+    "lifetime_stats",
+]

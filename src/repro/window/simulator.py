@@ -1,0 +1,231 @@
+"""Exact reference-window simulation.
+
+The definitional computation of MWS: enumerate every dynamic access in
+sequential order (optionally the order induced by a unimodular
+transformation), record each element's first and last access iteration,
+and sweep a +1/-1 event line to find the peak number of simultaneously
+live elements.
+
+Element ``e`` is in the window at iteration ``t`` iff
+``first(e) <= t < last(e)`` — it has been referenced and will be
+referenced again strictly later (paper Section 2.3).  An element touched
+in only one iteration therefore never occupies the window; after the ideal
+transformation of Example 7 every element is touched only in consecutive
+iterations and the MWS collapses to 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ir.program import Program
+from repro.linalg import IntMatrix
+
+
+@dataclass(frozen=True)
+class WindowProfile:
+    """Window sizes over time for one array (or the whole program)."""
+
+    array: str
+    sizes: tuple[int, ...]
+
+    @property
+    def max_size(self) -> int:
+        return max(self.sizes) if self.sizes else 0
+
+    @property
+    def average_size(self) -> float:
+        return sum(self.sizes) / len(self.sizes) if self.sizes else 0.0
+
+    def argmax(self) -> int:
+        """First iteration time achieving the maximum window."""
+        return self.sizes.index(self.max_size)
+
+
+def _iteration_order(
+    program: Program, transformation: IntMatrix | None
+) -> list[tuple[int, ...]] | None:
+    """Iteration vectors in execution order; None means native order.
+
+    A unimodular transformation re-orders iterations to the lexicographic
+    order of ``u = T @ i`` — exactly the order the transformed nest's
+    generated code executes.
+    """
+    if transformation is None:
+        return None
+    n = program.nest.depth
+    if transformation.shape != (n, n):
+        raise ValueError("transformation shape does not match nest depth")
+    if transformation.det() not in (1, -1):
+        raise ValueError("transformation must be unimodular")
+    points = list(program.nest.iterate())
+    points.sort(key=transformation.apply)
+    return points
+
+
+def element_lifetimes(
+    program: Program,
+    array: str,
+    transformation: IntMatrix | None = None,
+) -> dict[tuple[int, ...], tuple[int, int]]:
+    """Map each touched element to ``(first, last)`` iteration times.
+
+    Times are 0-based positions in the execution order (native or
+    transformed).
+    """
+    refs = [ref for ref in program.references if ref.array == array]
+    if not refs:
+        raise KeyError(array)
+    order = _iteration_order(program, transformation)
+    lifetimes: dict[tuple[int, ...], tuple[int, int]] = {}
+    iterator = order if order is not None else program.nest.iterate()
+    for time, point in enumerate(iterator):
+        for ref in refs:
+            element = ref.element(point)
+            if element in lifetimes:
+                lifetimes[element] = (lifetimes[element][0], time)
+            else:
+                lifetimes[element] = (time, time)
+    return lifetimes
+
+
+def window_profile_reference(
+    program: Program,
+    array: str,
+    transformation: IntMatrix | None = None,
+) -> WindowProfile:
+    """Exact window size at every iteration, for one array."""
+    lifetimes = element_lifetimes(program, array, transformation)
+    total = program.nest.total_iterations
+    deltas = [0] * (total + 1)
+    for first, last in lifetimes.values():
+        if last > first:
+            deltas[first] += 1
+            deltas[last] -= 1
+    sizes = []
+    current = 0
+    for t in range(total):
+        current += deltas[t]
+        sizes.append(current)
+    return WindowProfile(array, tuple(sizes))
+
+
+def max_window_size_reference(
+    program: Program,
+    array: str,
+    transformation: IntMatrix | None = None,
+) -> int:
+    """Exact MWS of one array under the given execution order.
+
+    >>> from repro.ir import parse_program
+    >>> p = parse_program('''
+    ... for i = 1 to 25 {
+    ...   for j = 1 to 10 {
+    ...     X[2*i + 5*j + 1] = X[2*i + 5*j + 5]
+    ...   }
+    ... }
+    ... ''')
+    >>> max_window_size_reference(p, "X")
+    44
+    """
+    lifetimes = element_lifetimes(program, array, transformation)
+    return _peak_live(lifetimes.values())
+
+
+def max_total_window_reference(
+    program: Program,
+    transformation: IntMatrix | None = None,
+    arrays: Sequence[str] | None = None,
+) -> int:
+    """Exact MWS summed over arrays: ``max_t sum_X |W_X(t)|``.
+
+    This is the paper's multi-array window (Section 2.3) — the minimum
+    on-chip data memory for the whole nest.  Note it is the max of the
+    sum, not the sum of per-array maxima.
+    """
+    names = tuple(arrays) if arrays is not None else program.arrays
+    total = program.nest.total_iterations
+    deltas = [0] * (total + 1)
+    for array in names:
+        for first, last in element_lifetimes(program, array, transformation).values():
+            if last > first:
+                deltas[first] += 1
+                deltas[last] -= 1
+    peak = 0
+    current = 0
+    for t in range(total):
+        current += deltas[t]
+        if current > peak:
+            peak = current
+    return peak
+
+
+def _peak_live(lifetimes) -> int:
+    events: dict[int, int] = {}
+    for first, last in lifetimes:
+        if last > first:
+            events[first] = events.get(first, 0) + 1
+            events[last] = events.get(last, 0) - 1
+    peak = 0
+    current = 0
+    for t in sorted(events):
+        current += events[t]
+        if current > peak:
+            peak = current
+    return peak
+
+
+def window_profile(
+    program: Program,
+    array: str,
+    transformation: IntMatrix | None = None,
+) -> WindowProfile:
+    """Exact window size at every iteration (vectorized engine).
+
+    Semantics defined by :func:`window_profile_reference`; the numpy
+    engine is used for speed and the test suite pins them equal.
+    """
+    from repro.window.fast import window_profile_fast
+
+    sizes = window_profile_fast(program, array, transformation)
+    return WindowProfile(array, tuple(int(v) for v in sizes))
+
+
+def max_window_size(
+    program: Program,
+    array: str,
+    transformation: IntMatrix | None = None,
+) -> int:
+    """Exact MWS of one array under the given execution order.
+
+    >>> from repro.ir import parse_program
+    >>> p = parse_program('''
+    ... for i = 1 to 25 {
+    ...   for j = 1 to 10 {
+    ...     X[2*i + 5*j + 1] = X[2*i + 5*j + 5]
+    ...   }
+    ... }
+    ... ''')
+    >>> max_window_size(p, "X")
+    44
+    """
+    from repro.window.fast import max_window_size_fast
+
+    return max_window_size_fast(program, array, transformation)
+
+
+def max_total_window(
+    program: Program,
+    transformation: IntMatrix | None = None,
+    arrays: Sequence[str] | None = None,
+) -> int:
+    """Exact MWS summed over arrays: ``max_t sum_X |W_X(t)|``.
+
+    This is the paper's multi-array window (Section 2.3) — the minimum
+    on-chip data memory for the whole nest.  Note it is the max of the
+    sum, not the sum of per-array maxima.
+    """
+    from repro.window.fast import max_total_window_fast
+
+    return max_total_window_fast(program, transformation, arrays)

@@ -1,0 +1,74 @@
+"""Symbolic (sympy) maximum-window-size expressions.
+
+Equation (2) and the Section 4.3 formula as expressions in symbolic trip
+counts — the form in which the paper states them ("MWS is a function of
+the loop limits").  Substituting numbers reproduces
+:mod:`repro.window.mws`; keeping the symbols shows how the required
+memory scales with problem size under a candidate transformation (linear
+in one loop limit, constant in the other — which is why the optimization
+matters more for larger frames).
+"""
+
+from __future__ import annotations
+
+import sympy
+
+from repro.estimation.symbolic import trip_symbols
+
+
+def symbolic_mws_2d(
+    alpha1: int, alpha2: int, a: int, b: int
+) -> tuple[sympy.Expr, tuple[sympy.Symbol, ...]]:
+    """Eq. (2) with symbolic ``N1, N2`` for fixed access row and T row.
+
+    >>> expr, (n1, n2) = symbolic_mws_2d(2, 5, 1, 0)
+    >>> expr
+    5*N2
+    >>> expr.subs({n1: 25, n2: 10})
+    50
+    """
+    n1, n2 = trip_symbols(2)
+    if a == 0 and b == 0:
+        raise ValueError("transformation row (0, 0) is singular")
+    window_step = abs(alpha2 * a - alpha1 * b)
+    if window_step == 0:
+        return sympy.Integer(1), (n1, n2)
+    spans = []
+    if b != 0:
+        spans.append((n1 - 1) / sympy.Integer(abs(b)))
+    if a != 0:
+        spans.append((n2 - 1) / sympy.Integer(abs(a)))
+    if len(spans) == 1:
+        maxspan = spans[0] + 1
+    else:
+        maxspan = sympy.Min(*spans) + 1
+    return maxspan * window_step, (n1, n2)
+
+
+def symbolic_mws_3d(
+    reuse_vector: tuple[int, int, int]
+) -> tuple[sympy.Expr, tuple[sympy.Symbol, ...]]:
+    """Section 4.3 formula with symbolic ``N1, N2, N3``.
+
+    >>> expr, syms = symbolic_mws_3d((1, 3, -3))
+    >>> expr.subs(dict(zip(syms, (10, 20, 30))))
+    541
+    """
+    d1, d2, d3 = reuse_vector
+    if d1 < 0:
+        d1, d2, d3 = -d1, -d2, -d3
+    trips = trip_symbols(3)
+    n1, n2, n3 = trips
+    inner = (n2 - abs(d2)) * (n3 - abs(d3))
+    if d2 <= 0:
+        return d1 * inner + 1, trips
+    return d1 * inner + abs(d2) * (n3 - abs(d3)) + 1, trips
+
+
+def scaling_exponent(expression: sympy.Expr, symbol: sympy.Symbol) -> int:
+    """Degree of the MWS expression in one loop limit.
+
+    Quantifies the paper's Section 4.3 observation: pushing the reuse to
+    inner levels removes whole factors of ``N`` from the window.
+    """
+    return sympy.degree(sympy.expand(expression), symbol)

@@ -1,0 +1,111 @@
+"""Zhao-Malik-style def-use liveness — the paper's main comparator.
+
+Zhao & Malik (DAC 2000, "Exact memory size estimation for array
+computation without loop unrolling") define the minimum memory via
+def-use liveness: an element occupies storage from its (first) definition
+to its last use.  The paper's window model differs in two ways:
+
+* read-only (input) arrays: the window counts an element only between
+  its first and last *accesses*, while def-use liveness counts an input
+  element as live from the program start (it arrives with the data set);
+* multiple writes: a def-use element can die and be reborn, which the
+  single-interval window over-approximates.
+
+This module computes the def-use minimum exactly (per the same sweep
+machinery), so benches can put the two definitions side by side — the
+quantitative version of the paper's related-work discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.program import Program
+from repro.linalg import IntMatrix
+from repro.window.simulator import _iteration_order
+
+
+@dataclass(frozen=True)
+class DefUseReport:
+    """Peak live storage under def-use semantics, per array and total."""
+
+    per_array: dict
+    total_peak: int
+
+
+def _def_use_intervals(
+    program: Program,
+    array: str,
+    transformation: IntMatrix | None,
+) -> list[tuple[int, int]]:
+    """Live intervals [birth, death) of each storage occupation.
+
+    A write opens (or renews) an element's interval; reads extend it; an
+    element never written (pure input) is live from time 0 through its
+    last read.  Successive writes without intervening reads collapse —
+    the old value dies at the overwrite.
+    """
+    refs = [ref for ref in program.references if ref.array == array]
+    if not refs:
+        raise KeyError(array)
+    order = _iteration_order(program, transformation)
+    iterator = order if order is not None else program.nest.iterate()
+
+    intervals: list[tuple[int, int]] = []
+    open_since: dict[tuple[int, ...], int] = {}
+    last_touch: dict[tuple[int, ...], int] = {}
+    for time, point in enumerate(iterator):
+        for ref in refs:
+            element = ref.element(point)
+            if ref.is_write:
+                if element in open_since:
+                    # Previous value dies here (overwritten).
+                    intervals.append((open_since[element], last_touch[element]))
+                open_since[element] = time
+            else:
+                if element not in open_since:
+                    open_since[element] = 0  # program input: live from start
+            last_touch[element] = time
+    for element, birth in open_since.items():
+        intervals.append((birth, last_touch[element]))
+    return intervals
+
+
+def def_use_peak(
+    program: Program,
+    array: str,
+    transformation: IntMatrix | None = None,
+) -> int:
+    """Peak simultaneous def-use-live values of one array."""
+    intervals = _def_use_intervals(program, array, transformation)
+    events: dict[int, int] = {}
+    for birth, death in intervals:
+        events[birth] = events.get(birth, 0) + 1
+        events[death + 1] = events.get(death + 1, 0) - 1
+    peak = current = 0
+    for t in sorted(events):
+        current += events[t]
+        peak = max(peak, current)
+    return peak
+
+
+def zhao_malik_report(
+    program: Program,
+    transformation: IntMatrix | None = None,
+) -> DefUseReport:
+    """Def-use minimum memory for every array plus the total peak."""
+    per_array = {
+        array: def_use_peak(program, array, transformation)
+        for array in program.arrays
+    }
+    # Total: merge all arrays' intervals into one sweep.
+    events: dict[int, int] = {}
+    for array in program.arrays:
+        for birth, death in _def_use_intervals(program, array, transformation):
+            events[birth] = events.get(birth, 0) + 1
+            events[death + 1] = events.get(death + 1, 0) - 1
+    peak = current = 0
+    for t in sorted(events):
+        current += events[t]
+        peak = max(peak, current)
+    return DefUseReport(per_array, peak)

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLE_7 = """
+for i = 1 to 20 {
+  for j = 1 to 30 {
+    X[2*i - 3*j]
+  }
+}
+"""
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.txt"
+    path.write_text(EXAMPLE_7)
+    return str(path)
+
+
+class TestCli:
+    def test_analyze(self, loop_file, capsys):
+        assert main(["analyze", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "max window size" in out
+        assert "86" in out
+
+    def test_dependences(self, loop_file, capsys):
+        assert main(["dependences", loop_file]) == 0
+        out = capsys.readouterr().out
+        # Paper: "The only dependence in this example is the vector (3, 2)".
+        assert "input" in out and "(3, 2)" in out
+
+    def test_dependences_no_input(self, loop_file, capsys):
+        assert main(["dependences", "--no-input", loop_file]) == 0
+        assert "no constant-distance dependences" in capsys.readouterr().out
+
+    def test_optimize(self, loop_file, capsys):
+        assert main(["optimize", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "MWS before : 86" in out
+        assert "MWS after" in out
+
+    def test_optimize_codegen(self, loop_file, capsys):
+        assert main(["optimize", "--codegen", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "for u1 =" in out
+
+    def test_size(self, loop_file, capsys):
+        assert main(["size", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "provisioned" in out
+
+    def test_size_optimized_smaller(self, loop_file, capsys):
+        main(["size", loop_file])
+        plain = capsys.readouterr().out
+        main(["size", "--optimized", loop_file])
+        optimized = capsys.readouterr().out
+
+        def mws(text):
+            line = next(l for l in text.splitlines() if "maximum window" in l)
+            return int(line.split(":")[1].split()[0])
+
+        assert mws(optimized) < mws(plain)
+
+    def test_figure2_single_kernel(self, capsys):
+        assert main(["figure2", "--kernel", "matmult"]) == 0
+        out = capsys.readouterr().out
+        assert "matmult" in out and "273" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent/loop.txt"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("for i = 1 to { }")
+        assert main(["analyze", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["figure2", "--kernel", "nope"]) == 1
+
+
+class TestCliExtensions:
+    def test_buffer(self, tmp_path, capsys):
+        path = tmp_path / "ex8.txt"
+        path.write_text(
+            "for i = 1 to 25 { for j = 1 to 10 { "
+            "X[2*i + 5*j + 1] = X[2*i + 5*j + 5] } }"
+        )
+        assert main(["buffer", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "MWS=44" in out and "modulus=44" in out
+        assert "X_buf[" in out
+
+    def test_buffer_optimized(self, tmp_path, capsys):
+        path = tmp_path / "ex8.txt"
+        path.write_text(
+            "for i = 1 to 25 { for j = 1 to 10 { "
+            "X[2*i + 5*j + 1] = X[2*i + 5*j + 5] } }"
+        )
+        assert main(["buffer", "--optimized", str(path)]) == 0
+        assert "MWS=21" in capsys.readouterr().out
+
+    def test_distribute(self, tmp_path, capsys):
+        path = tmp_path / "pair.txt"
+        path.write_text(
+            "for i = 1 to 9 {\n  S1: T[i] = A[i]\n  S2: B[i] = T[i] + T[i-1]\n}"
+        )
+        assert main(["distribute", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 nest(s)" in out
+
+    def test_viz(self, loop_file, capsys):
+        assert main(["viz", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "window of X over time" in out
+        assert "#" in out

@@ -1,0 +1,270 @@
+"""Tests for dependence/reuse analysis against paper examples and oracles."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependence import (
+    Dependence,
+    DependenceKind,
+    array_distance_vectors,
+    dependence_distance,
+    dependence_graph,
+    gcd_test,
+    is_lex_positive,
+    lex_level,
+    lex_negate_to_positive,
+    program_dependences,
+    reuse_level,
+    reuse_vector,
+    reuse_vectors,
+    self_reuse_distance,
+)
+from repro.dependence.analysis import iteration_pairs_sharing_element
+from repro.dependence.distance import is_lex_nonnegative, lex_compare
+from repro.dependence.graph import max_in_degree_sink
+from repro.ir import ArrayRef, NestBuilder, parse_program
+
+
+class TestLexOrder:
+    def test_positive(self):
+        assert is_lex_positive((0, 3, -1))
+        assert not is_lex_positive((0, -1, 5))
+        assert not is_lex_positive((0, 0, 0))
+
+    def test_nonnegative(self):
+        assert is_lex_nonnegative((0, 0))
+        assert is_lex_nonnegative((0, 2))
+        assert not is_lex_nonnegative((-1, 2))
+
+    def test_level(self):
+        assert lex_level((0, 3, -1)) == 2
+        assert lex_level((1, 0)) == 1
+        assert lex_level((0, 0)) is None
+
+    def test_negate_to_positive(self):
+        assert lex_negate_to_positive((-1, 2)) == (1, -2)
+        assert lex_negate_to_positive((0, 5)) == (0, 5)
+        assert lex_negate_to_positive((0, 0)) == (0, 0)
+
+    def test_compare(self):
+        assert lex_compare((1, 2), (1, 3)) == -1
+        assert lex_compare((2, 0), (1, 9)) == 1
+        assert lex_compare((1, 2), (1, 2)) == 0
+        with pytest.raises(ValueError):
+            lex_compare((1,), (1, 2))
+
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=4))
+    def test_vector_or_negation_nonneg(self, vec):
+        assert is_lex_nonnegative(lex_negate_to_positive(vec))
+
+
+class TestDependenceDistance:
+    def test_paper_example2(self):
+        src = ArrayRef.of("A", [[1, 0], [0, 1]], [0, 0])
+        dst = ArrayRef.of("A", [[1, 0], [0, 1]], [-1, 2])
+        assert dependence_distance(src, dst) == (1, -2)
+
+    def test_no_integer_solution(self):
+        src = ArrayRef.of("A", [[2, 0], [0, 2]], [0, 0])
+        dst = ArrayRef.of("A", [[2, 0], [0, 2]], [1, 0])
+        assert dependence_distance(src, dst) is None
+
+    def test_wrong_direction_is_none(self):
+        src = ArrayRef.of("A", [[1, 0], [0, 1]], [0, 0])
+        dst = ArrayRef.of("A", [[1, 0], [0, 1]], [1, 0])
+        # dst touches what src touched one iteration EARLIER: the positive
+        # dependence goes dst -> src instead.
+        assert dependence_distance(src, dst) is None
+        assert dependence_distance(dst, src) == (1, 0)
+
+    def test_non_uniform_raises(self):
+        src = ArrayRef.of("A", [[3, 7]], [0])
+        dst = ArrayRef.of("A", [[4, -3]], [0])
+        with pytest.raises(ValueError):
+            dependence_distance(src, dst)
+
+    def test_kernel_family_smallest(self):
+        # X[2i+5j+c]: family p + t(5,-2); the smallest lex-positive member.
+        src = ArrayRef.of("X", [[2, 5]], [1])
+        dst = ArrayRef.of("X", [[2, 5]], [5])
+        assert dependence_distance(src, dst) == (3, -2)
+        assert dependence_distance(dst, src) == (2, 0)
+
+    def test_self_reuse(self):
+        assert self_reuse_distance(ArrayRef.of("A", [[2, 5]], [1])) == (5, -2)
+        assert self_reuse_distance(ArrayRef.of("A", [[3, 0, 1], [0, 1, 1]], [0, 0])) == (1, 3, -3)
+        assert self_reuse_distance(ArrayRef.of("A", [[1, 0], [0, 1]], [0, 0])) is None
+
+    @given(
+        st.integers(-4, 4), st.integers(-4, 4),
+        st.integers(-6, 6), st.integers(-6, 6),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_distance_is_valid_and_minimal(self, a, b, c1, c2):
+        # For A[a*i + b*j + c1] vs A[a*i + b*j + c2], any returned distance
+        # must solve a*d1 + b*d2 = c1 - c2 and be lex-positive.
+        src = ArrayRef.of("A", [[a, b]], [c1])
+        dst = ArrayRef.of("A", [[a, b]], [c2])
+        d = dependence_distance(src, dst)
+        if d is not None:
+            assert a * d[0] + b * d[1] == c1 - c2
+            assert is_lex_positive(d)
+
+
+class TestProgramDependences:
+    def test_example8_distances(self):
+        prog = parse_program(
+            """
+            for i = 1 to 25 {
+              for j = 1 to 10 {
+                X[2*i + 5*j + 1] = X[2*i + 5*j + 5]
+              }
+            }
+            """
+        )
+        distances = sorted(array_distance_vectors(prog, "X"))
+        # Minimal representatives (the paper's printed set)...
+        for d in [(2, 0), (3, -2), (5, -2)]:
+            assert d in distances
+        # ...plus the farthest in-bounds member of each kernel family
+        # (needed for sound legality checks; lex-monotone endpoints).
+        # Every vector must solve 2*d1 + 5*d2 in {-4, 0, 4}, be lex
+        # positive, and fit inside the loop spans.
+        for d1, d2 in distances:
+            assert 2 * d1 + 5 * d2 in (-4, 0, 4)
+            assert is_lex_positive((d1, d2))
+            assert abs(d1) <= 24 and abs(d2) <= 9
+
+    def test_example8_kinds(self):
+        prog = parse_program(
+            """
+            for i = 1 to 25 {
+              for j = 1 to 10 {
+                X[2*i + 5*j + 1] = X[2*i + 5*j + 5]
+              }
+            }
+            """
+        )
+        deps = program_dependences(prog)
+        by_kind = {}
+        for dep in deps:
+            by_kind.setdefault(dep.kind, set()).add(dep.distance)
+        assert (3, -2) in by_kind[DependenceKind.FLOW]
+        assert (2, 0) in by_kind[DependenceKind.ANTI]
+        assert (5, -2) in by_kind[DependenceKind.OUTPUT]
+
+    def test_exclude_input(self):
+        prog = parse_program(
+            "for i = 1 to 9 { B[0] = A[i] + A[i-1] }"
+        )
+        with_input = array_distance_vectors(prog, "A", include_input=True)
+        without = array_distance_vectors(prog, "A", include_input=False)
+        assert (1,) in with_input
+        assert without == []
+
+    def test_nonuniform_raises(self):
+        prog = parse_program(
+            "for i = 1 to 9 { for j = 1 to 9 { A[3*i + 7*j] = A[4*i - 3*j] } }"
+        )
+        with pytest.raises(ValueError):
+            array_distance_vectors(prog, "A")
+
+    def test_dependence_validated_by_enumeration(self):
+        # Every reported distance is realized by an actual iteration pair.
+        prog = parse_program(
+            """
+            for i = 1 to 8 {
+              for j = 1 to 8 {
+                X[2*i + 5*j + 1] = X[2*i + 5*j + 5]
+              }
+            }
+            """
+        )
+        write = prog.statements[0].writes[0]
+        read = prog.statements[0].reads[0]
+        pairs = set(iteration_pairs_sharing_element(prog.nest, write, read))
+        flow = {(tuple(a), tuple(b)) for a, b in pairs}
+        realized = {
+            tuple(x - y for x, y in zip(later, earlier))
+            for earlier, later in flow
+        }
+        assert (3, -2) in realized
+
+    def test_gcd_test(self):
+        a = ArrayRef.of("A", [[2, 4]], [0])
+        b = ArrayRef.of("A", [[2, 4]], [1])  # 2x + 4y = 1: impossible
+        assert not gcd_test(a, b)
+        c = ArrayRef.of("A", [[2, 4]], [2])
+        assert gcd_test(a, c)
+        other = ArrayRef.of("B", [[2, 4]], [0])
+        assert not gcd_test(a, other)
+
+    def test_gcd_test_nonuniform(self):
+        a = ArrayRef.of("A", [[3, 7]], [-10])
+        b = ArrayRef.of("A", [[4, -3]], [60])
+        assert gcd_test(a, b)  # gcd(3,7,4,3) = 1 divides everything
+
+
+class TestReuse:
+    def test_reuse_vector(self):
+        assert reuse_vector(ArrayRef.of("A", [[2, 5]], [1])) == (5, -2)
+
+    def test_reuse_vectors_program(self):
+        prog = parse_program(
+            "for i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j+2] } }"
+        )
+        assert reuse_vectors(prog, "A") == [(1, -2)]
+
+    def test_reuse_level(self):
+        assert reuse_level((0, 0, 1)) == 3
+        assert reuse_level((1, 3, -3)) == 1
+
+    def test_group_reuse_example3(self):
+        from repro.dependence.reuse import group_reuse_distances
+
+        prog = parse_program(
+            """
+            for i = 1 to 10 {
+              for j = 1 to 10 {
+                Z[i][j] = A[i][j] + A[i-1][j] + A[i][j-1] + A[i-1][j-1]
+              }
+            }
+            """
+        )
+        distances = group_reuse_distances(list(prog.refs_to("A")))
+        assert sorted(distances) == [(0, 1), (1, 0), (1, 1)]
+
+
+class TestGraph:
+    def test_graph_structure(self):
+        prog = parse_program(
+            """
+            for i = 1 to 10 {
+              for j = 1 to 10 {
+                S1: A[i][j] = 0
+                S2: B[i][j] = A[i-1][j+2]
+              }
+            }
+            """
+        )
+        graph = dependence_graph(prog)
+        assert set(graph.nodes) == {"S1", "S2"}
+        edges = [
+            (u, v, data["distance"]) for u, v, data in graph.edges(data=True)
+        ]
+        assert ("S1", "S2", (1, -2)) in edges
+
+    def test_max_in_degree_sink(self):
+        prog = parse_program(
+            """
+            for i = 1 to 10 {
+              for j = 1 to 10 {
+                S1: Z[i][j] = A[i][j] + A[i-1][j] + A[i][j-1] + A[i-1][j-1]
+              }
+            }
+            """
+        )
+        graph = dependence_graph(prog)
+        assert max_in_degree_sink(graph, "A") == "S1"
+        assert max_in_degree_sink(graph, "Z") is None

@@ -1,0 +1,134 @@
+"""Tests for loop distribution and the report exporters."""
+
+import pytest
+
+from repro.ir import parse_program
+from repro.ir.interpreter import execute, initial_state, states_equal
+from repro.reporting import Figure2Row, figure2_csv, figure2_markdown
+from repro.transform import (
+    distribute,
+    fuse,
+    is_distribution_legal,
+    statement_dependence_graph,
+)
+
+
+PAIR = """
+for i = 1 to 9 {
+  S1: T[i] = A[i]
+  S2: B[i] = T[i] + T[i-1]
+}
+"""
+
+CYCLE = """
+for i = 1 to 9 {
+  S1: T[i] = U[i-1]
+  S2: U[i] = T[i]
+}
+"""
+
+
+class TestStatementGraph:
+    def test_forward_edge(self):
+        prog = parse_program(PAIR)
+        graph = statement_dependence_graph(prog)
+        assert graph.has_edge("S1", "S2")
+        assert not graph.has_edge("S2", "S1")
+
+    def test_cycle_detected(self):
+        prog = parse_program(CYCLE)
+        graph = statement_dependence_graph(prog)
+        # S1 -> S2 same iteration (flow on T); S2 -> S1 carried (flow on U).
+        assert graph.has_edge("S1", "S2")
+        assert graph.has_edge("S2", "S1")
+
+    def test_independent_statements(self):
+        prog = parse_program(
+            "for i = 1 to 5 { S1: A[i] = 1\n S2: B[i] = 2 }"
+        )
+        graph = statement_dependence_graph(prog)
+        assert graph.number_of_edges() == 0
+
+
+class TestDistribute:
+    def test_splits_pair(self):
+        prog = parse_program(PAIR, name="pair")
+        seq = distribute(prog)
+        assert [len(p.statements) for p in seq.programs] == [1, 1]
+        assert seq.programs[0].statements[0].label == "S1"
+
+    def test_cycle_stays_together(self):
+        prog = parse_program(CYCLE, name="cycle")
+        seq = distribute(prog)
+        assert len(seq.programs) == 1
+        assert len(seq.programs[0].statements) == 2
+
+    def test_is_distribution_legal(self):
+        assert is_distribution_legal(parse_program(PAIR))
+        assert not is_distribution_legal(parse_program(CYCLE))
+
+    def test_distribution_preserves_semantics(self):
+        prog = parse_program(PAIR, name="pair")
+        seq = distribute(prog)
+        state = initial_state(prog)
+        chained = state
+        for part in seq.programs:
+            chained = execute(part, state=chained)
+        assert states_equal(chained, execute(prog, state=state))
+
+    def test_distribute_then_fuse_roundtrip(self):
+        prog = parse_program(PAIR, name="pair")
+        seq = distribute(prog)
+        refused = fuse(seq.programs[0], seq.programs[1])
+        state = initial_state(prog)
+        assert states_equal(
+            execute(refused, state=state), execute(prog, state=state)
+        )
+
+    def test_three_way_chain(self):
+        prog = parse_program(
+            """
+            for i = 1 to 9 {
+              S1: T[i] = A[i]
+              S2: U[i] = T[i]
+              S3: B[i] = U[i] + U[i-1]
+            }
+            """,
+            name="chain3",
+        )
+        seq = distribute(prog)
+        assert len(seq.programs) == 3
+        labels = [p.statements[0].label for p in seq.programs]
+        assert labels == ["S1", "S2", "S3"]
+
+
+class TestExport:
+    ROWS = [
+        Figure2Row("demo", 100, 20, 5, 75.0, 90.0),
+        Figure2Row("other", 200, 100, 50, 40.0, 70.0),
+    ]
+
+    def test_markdown_shape(self):
+        text = figure2_markdown(self.ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("| code |")
+        assert len(lines) == 2 + len(self.ROWS) + 1  # header+sep+rows+avg
+        assert "**Average**" in lines[-1]
+
+    def test_markdown_values(self):
+        text = figure2_markdown(self.ROWS)
+        assert "| demo | 100 | 20 | 80.0 (75.0) | 5 | 95.0 (90.0) |" in text
+
+    def test_markdown_empty(self):
+        text = figure2_markdown([])
+        assert text.splitlines()[0].startswith("| code |")
+
+    def test_csv_roundtrip(self):
+        import csv
+        import io
+
+        text = figure2_csv(self.ROWS)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["code"] == "demo"
+        assert float(rows[0]["opt_reduction_pct"]) == 95.0

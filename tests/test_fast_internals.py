@@ -1,0 +1,99 @@
+"""Unit tests for the vectorized window engine's building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import parse_program
+from repro.ir.generate import GeneratorConfig, random_program
+from repro.linalg import IntMatrix
+from repro.window.fast import (
+    _element_ids,
+    _execution_times,
+    _iteration_matrix,
+    window_deltas,
+)
+
+
+class TestIterationMatrix:
+    def test_matches_nest_iterate(self):
+        prog = parse_program(
+            "for i = 0 to 3 { for j = -1 to 2 { A[i][j] = 1 } }"
+        )
+        points = _iteration_matrix(prog)
+        expected = np.array(list(prog.nest.iterate()))
+        assert np.array_equal(points, expected)
+
+    def test_cached(self):
+        prog = parse_program("for i = 1 to 4 { A[i] = 1 }")
+        assert _iteration_matrix(prog) is _iteration_matrix(prog)
+
+    @given(st.integers(0, 20_000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_on_random(self, seed):
+        prog = random_program(seed, GeneratorConfig(max_trip=5, depth=3))
+        points = _iteration_matrix(prog)
+        expected = np.array(list(prog.nest.iterate()))
+        assert np.array_equal(points, expected)
+
+
+class TestExecutionTimes:
+    def test_identity_is_arange(self):
+        prog = parse_program("for i = 1 to 4 { for j = 1 to 3 { A[i][j] = 1 } }")
+        times = _execution_times(prog, None)
+        assert np.array_equal(times, np.arange(12))
+
+    def test_transformed_is_permutation(self):
+        prog = parse_program("for i = 1 to 4 { for j = 1 to 3 { A[i][j] = 1 } }")
+        t = IntMatrix([[0, 1], [1, 0]])
+        times = _execution_times(prog, t)
+        assert sorted(times.tolist()) == list(range(12))
+
+    def test_transformed_order_matches_sort(self):
+        prog = parse_program("for i = 1 to 4 { for j = 1 to 3 { A[i][j] = 1 } }")
+        t = IntMatrix([[1, 1], [0, 1]])
+        times = _execution_times(prog, t)
+        points = list(prog.nest.iterate())
+        by_time = sorted(range(len(points)), key=lambda k: times[k])
+        ordered = [t.apply(points[k]) for k in by_time]
+        assert ordered == sorted(ordered)
+
+    def test_rejects_non_unimodular(self):
+        prog = parse_program("for i = 1 to 4 { A[i] = 1 }")
+        with pytest.raises(ValueError):
+            _execution_times(prog, IntMatrix([[2]]))
+
+
+class TestElementIds:
+    def test_equal_elements_share_ids(self):
+        prog = parse_program("for i = 1 to 6 { B[0] = A[i] + A[i-1] }")
+        ids = _element_ids(prog, "A")
+        # A[i] at iteration t equals A[i-1] at iteration t+1.
+        assert ids[0][0] == ids[1][1]
+
+    def test_distinct_elements_distinct_ids(self):
+        prog = parse_program("for i = 1 to 6 { A[i] = 1 }")
+        (ids,) = _element_ids(prog, "A")
+        assert len(set(ids.tolist())) == 6
+
+    def test_unknown_array(self):
+        prog = parse_program("for i = 1 to 4 { A[i] = 1 }")
+        with pytest.raises(KeyError):
+            _element_ids(prog, "Z")
+
+
+class TestWindowDeltas:
+    def test_deltas_sum_to_zero(self):
+        prog = parse_program(
+            "for i = 1 to 8 { X[2*i + 1] = X[2*i + 5] }"
+        )
+        deltas = window_deltas(prog, "X")
+        assert int(deltas.sum()) == 0
+
+    def test_cumsum_nonnegative(self):
+        prog = parse_program(
+            "for i = 1 to 8 { X[2*i + 1] = X[2*i + 5] }"
+        )
+        deltas = window_deltas(prog, "X")
+        assert (np.cumsum(deltas[:-1]) >= 0).all()

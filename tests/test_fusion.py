@@ -1,0 +1,102 @@
+"""Tests for loop fusion across nest sequences."""
+
+import pytest
+
+from repro.ir import parse_program
+from repro.ir.interpreter import execute, initial_state, states_equal
+from repro.ir.sequence import ProgramSequence, sequence_memory_report
+from repro.transform.fusion import (
+    FusionError,
+    can_fuse,
+    fuse,
+    fusion_memory_report,
+)
+from repro.window import max_total_window
+
+
+def producer(name="produce"):
+    return parse_program(
+        "for i = 1 to 16 { for j = 1 to 16 { P1: T[i][j] = A[i][j] } }",
+        name=name,
+    )
+
+
+def consumer(name="consume"):
+    return parse_program(
+        "for i = 1 to 16 { for j = 1 to 16 { C1: B[i][j] = T[i][j] + T[i-1][j] } }",
+        name=name,
+    )
+
+
+class TestCanFuse:
+    def test_legal_chain(self):
+        ok, reason = can_fuse(producer(), consumer())
+        assert ok, reason
+
+    def test_mismatched_bounds(self):
+        other = parse_program(
+            "for i = 1 to 8 { for j = 1 to 16 { C1: B[i][j] = T[i][j] } }"
+        )
+        ok, reason = can_fuse(producer(), other)
+        assert not ok and "nests differ" in reason
+
+    def test_duplicate_labels(self):
+        a = parse_program("for i = 1 to 4 { S1: T[i] = A[i] }")
+        b = parse_program("for i = 1 to 4 { S1: B[i] = T[i] }")
+        ok, reason = can_fuse(a, b)
+        assert not ok and "labels" in reason
+
+    def test_fusion_preventing_forward_read(self):
+        # The consumer reads T[i+1], produced later: illegal to fuse.
+        a = parse_program("for i = 1 to 8 { P1: T[i] = A[i] }")
+        b = parse_program("for i = 1 to 8 { C1: B[i] = T[i+1] }")
+        ok, reason = can_fuse(a, b)
+        assert not ok and "fusion-preventing" in reason
+
+    def test_same_iteration_flow_is_fusable(self):
+        a = parse_program("for i = 1 to 8 { P1: T[i] = A[i] }")
+        b = parse_program("for i = 1 to 8 { C1: B[i] = T[i] }")
+        ok, _ = can_fuse(a, b)
+        assert ok
+
+
+class TestFuse:
+    def test_fused_structure(self):
+        fused = fuse(producer(), consumer())
+        assert len(fused.statements) == 2
+        assert fused.nest == producer().nest
+        assert fused.name == "produce+consume"
+
+    def test_fuse_rejects_illegal(self):
+        a = parse_program("for i = 1 to 8 { P1: T[i] = A[i] }")
+        b = parse_program("for i = 1 to 8 { C1: B[i] = T[i+1] }")
+        with pytest.raises(FusionError):
+            fuse(a, b)
+
+    def test_fusion_preserves_semantics(self):
+        # The fused program computes the same final arrays as the chain.
+        a, b = producer(), consumer()
+        fused = fuse(a, b)
+        state = initial_state(fused)
+        chained = execute(b, state=execute(a, state=state))
+        as_fused = execute(fused, state=state)
+        assert states_equal(chained, as_fused)
+
+    def test_fusion_shrinks_intermediate_window(self):
+        report = fusion_memory_report(producer(), consumer())
+        # Unfused: the whole 16x16 T crosses the boundary (256 elements).
+        assert report.unfused_requirement >= 256
+        # Fused: only a row of T stays live.
+        assert report.fused_requirement <= 2 * 16 + 8
+        assert report.saving > 0.8
+
+    def test_fused_window_matches_direct_measure(self):
+        fused = fuse(producer(), consumer())
+        report = fusion_memory_report(producer(), consumer())
+        assert report.fused_requirement == max_total_window(fused)
+
+    def test_sequence_report_consistency(self):
+        seq = ProgramSequence([producer(), consumer()])
+        seq_report = sequence_memory_report(seq)
+        fusion_report = fusion_memory_report(producer(), consumer())
+        assert fusion_report.unfused_requirement == seq_report.requirement

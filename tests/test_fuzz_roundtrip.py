@@ -1,0 +1,104 @@
+"""Fuzzing: random programs through parser round-trips and cross-engine
+consistency of every analysis layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation import estimate_distinct_accesses, exact_distinct_accesses
+from repro.ir import generate_source, parse_program
+from repro.ir.generate import (
+    GeneratorConfig,
+    random_nonuniform_program,
+    random_program,
+    random_uniform_program,
+)
+from repro.window import max_total_window, max_window_size
+from repro.window.simulator import max_window_size_reference
+
+
+seeds = st.integers(0, 100_000)
+
+
+class TestGenerator:
+    @given(seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_programs_validate(self, seed):
+        prog = random_program(seed)
+        assert prog.nest.total_iterations > 0
+        assert prog.references
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_mode_is_uniform(self, seed):
+        prog = random_uniform_program(seed)
+        for array in prog.arrays:
+            assert prog.is_uniformly_generated(array)
+
+    def test_deterministic(self):
+        a = random_program(42)
+        b = random_program(42)
+        assert generate_source(a) == generate_source(b)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_depth_3(self, seed):
+        prog = random_program(seed, GeneratorConfig(depth=3, max_trip=5))
+        assert prog.nest.depth == 3
+
+
+class TestRoundTrip:
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_parse_of_generated_source(self, seed):
+        prog = random_program(seed)
+        text = generate_source(prog)
+        again = parse_program(text)
+        assert again.nest == prog.nest
+        assert len(again.statements) == len(prog.statements)
+        for s1, s2 in zip(again.statements, prog.statements):
+            assert [(r.array, r.access, r.offset, r.kind) for r in s1.references] == [
+                (r.array, r.access, r.offset, r.kind) for r in s2.references
+            ]
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_preserves_analysis(self, seed):
+        prog = random_program(seed, GeneratorConfig(max_trip=6))
+        again = parse_program(generate_source(prog))
+        for array in prog.arrays:
+            assert exact_distinct_accesses(prog, array) == exact_distinct_accesses(
+                again, array
+            )
+            assert max_window_size(prog, array) == max_window_size(again, array)
+
+
+class TestCrossEngineConsistency:
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_fast_vs_reference_on_random(self, seed):
+        prog = random_program(seed, GeneratorConfig(max_trip=6))
+        for array in prog.arrays:
+            assert max_window_size(prog, array) == max_window_size_reference(
+                prog, array
+            )
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_estimates_bracket_oracle_uniform(self, seed):
+        prog = random_uniform_program(seed)
+        for array in prog.arrays:
+            est = estimate_distinct_accesses(prog, array)
+            truth = exact_distinct_accesses(prog, array)
+            assert truth <= est.upper
+            if est.exact:
+                assert est.lower == truth
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_total_window_bounded_by_footprint(self, seed):
+        prog = random_program(seed, GeneratorConfig(max_trip=6))
+        footprint = sum(
+            exact_distinct_accesses(prog, array) for array in prog.arrays
+        )
+        assert max_total_window(prog) <= footprint

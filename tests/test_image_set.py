@@ -1,0 +1,153 @@
+"""Tests for the exact 1-D affine image structure and union counting —
+the multiple-reference extension of Section 3.2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation import (
+    distinct_accesses_multiref_1d,
+    exact_distinct_accesses,
+    supports_exact_multiref,
+)
+from repro.ir import NestBuilder, parse_program
+from repro.polyhedral.image_set import AffineImage1D, affine_image_1d, union_count
+
+
+class TestAffineImage:
+    def test_paper_example6_f1(self):
+        img = affine_image_1d(3, 7, 20, 20)
+        assert img.count == 179
+        assert img.lo == 10 and img.hi == 200
+
+    def test_example8_access(self):
+        img = affine_image_1d(2, 5, 25, 10)
+        assert img.count == 90
+
+    def test_degenerate_zero(self):
+        assert affine_image_1d(0, 0, 4, 4).count == 1
+        assert affine_image_1d(0, 0, 0, 4).count == 0
+
+    def test_single_coefficient(self):
+        img = affine_image_1d(3, 0, 5, 9)
+        assert img.count == 5
+        assert img.step == 3
+
+    def test_gcd_step(self):
+        img = affine_image_1d(4, 6, 10, 10)
+        assert img.step == 2
+        assert all(v % 2 == 0 for v in img.values())
+
+    def test_shifted(self):
+        img = affine_image_1d(2, 5, 6, 6)
+        shifted = img.shifted(10)
+        assert shifted.count == img.count
+        assert set(shifted.values()) == {v + 10 for v in img.values()}
+
+    def test_contains(self):
+        img = affine_image_1d(3, 7, 20, 20)
+        for v in img.values():
+            assert img.contains(v)
+        assert not img.contains(img.lo - 1)
+        assert not img.contains(11)  # 11 is a Frobenius gap of (3, 7)
+
+    @given(
+        st.integers(-6, 6), st.integers(-6, 6),
+        st.integers(1, 12), st.integers(1, 12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_enumeration(self, a, b, n1, n2):
+        truth = {a * i + b * j for i in range(1, n1 + 1) for j in range(1, n2 + 1)}
+        img = affine_image_1d(a, b, n1, n2)
+        assert set(img.values()) == truth
+        assert img.count == len(truth)
+
+
+class TestUnionCount:
+    def test_empty(self):
+        assert union_count([]) == 0
+        assert union_count([AffineImage1D(0, -1, 1, frozenset())]) == 0
+
+    def test_single(self):
+        img = affine_image_1d(2, 5, 10, 10)
+        assert union_count([img]) == img.count
+
+    def test_identical_shift_zero(self):
+        img = affine_image_1d(2, 5, 10, 10)
+        assert union_count([img, img.shifted(0)]) == img.count
+
+    @given(
+        st.integers(1, 5), st.integers(-5, 5),
+        st.integers(2, 10), st.integers(2, 10),
+        st.lists(st.integers(-6, 6), min_size=1, max_size=3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_union_matches_enumeration(self, a, b, n1, n2, offsets):
+        base = affine_image_1d(a, b, n1, n2)
+        images = [base.shifted(c) for c in offsets]
+        truth = {
+            a * i + b * j + c
+            for i in range(1, n1 + 1)
+            for j in range(1, n2 + 1)
+            for c in offsets
+        }
+        assert union_count(images) == len(truth)
+
+    def test_heterogeneous_steps_path(self):
+        img1 = affine_image_1d(2, 4, 6, 6)   # step 2
+        img2 = affine_image_1d(3, 6, 6, 6)   # step 3
+        truth = set(img1.values()) | set(img2.values())
+        assert union_count([img1, img2]) == len(truth)
+
+    def test_disjoint_intervals_hole(self):
+        img = affine_image_1d(1, 1, 3, 3)  # {2..6}
+        far = img.shifted(100)
+        assert union_count([img, far]) == 2 * img.count
+
+
+class TestMultirefEstimator:
+    def test_example8_exact(self):
+        prog = parse_program(
+            """
+            for i = 1 to 25 {
+              for j = 1 to 10 {
+                X[2*i + 5*j + 1] = X[2*i + 5*j + 5]
+              }
+            }
+            """
+        )
+        assert supports_exact_multiref(prog, "X")
+        est = distinct_accesses_multiref_1d(prog, "X")
+        assert est.exact
+        assert est.lower == exact_distinct_accesses(prog, "X") == 94
+
+    def test_rejects_unsupported(self):
+        prog = parse_program("for i = 1 to 4 { A[i] = A[i-1] }")
+        assert not supports_exact_multiref(prog, "A")
+        with pytest.raises(ValueError):
+            distinct_accesses_multiref_1d(prog, "A")
+
+    def test_nonunit_lower_bounds_normalized(self):
+        prog = parse_program(
+            "for i = 0 to 4 { for j = 1 to 4 { X[2*i + 5*j] = X[2*i + 5*j + 4] } }"
+        )
+        assert supports_exact_multiref(prog, "X")
+        est = distinct_accesses_multiref_1d(prog, "X")
+        assert est.exact
+        assert est.lower == exact_distinct_accesses(prog, "X")
+
+    @given(
+        st.integers(1, 4),
+        st.integers(-4, 4).filter(lambda v: v != 0),
+        st.lists(st.integers(-5, 5), min_size=2, max_size=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_matches_oracle(self, a, b, offsets):
+        builder = NestBuilder().loop("i", 1, 9).loop("j", 1, 9)
+        for k, c in enumerate(offsets):
+            builder.use(f"S{k}", ("X", [[a, b]], [c]))
+        prog = builder.build()
+        if not supports_exact_multiref(prog, "X"):
+            return
+        est = distinct_accesses_multiref_1d(prog, "X")
+        assert est.lower == exact_distinct_accesses(prog, "X")

@@ -1,0 +1,115 @@
+"""Tests for the loop/nest IR."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import Loop, LoopNest
+
+
+def nests(max_depth=3, max_trip=6):
+    def build(dims):
+        loops = []
+        for k, (lo, trip) in enumerate(dims):
+            loops.append(Loop(f"i{k}", lo, lo + trip - 1))
+        return LoopNest(loops)
+
+    return st.lists(
+        st.tuples(st.integers(-3, 3), st.integers(1, max_trip)),
+        min_size=1,
+        max_size=max_depth,
+    ).map(build)
+
+
+class TestLoop:
+    def test_basic(self):
+        lp = Loop("i", 1, 10)
+        assert lp.trip_count == 10
+        assert lp.span == 9
+
+    def test_single_iteration(self):
+        assert Loop("i", 5, 5).trip_count == 1
+
+    def test_negative_bounds(self):
+        assert Loop("i", -3, 3).trip_count == 7
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Loop("i", 2, 1)
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            Loop("2i", 1, 10)
+
+    def test_rejects_float_bounds(self):
+        with pytest.raises(TypeError):
+            Loop("i", 1.5, 10)
+
+    def test_str(self):
+        assert str(Loop("i", 1, 10)) == "for i = 1 to 10"
+
+
+class TestLoopNest:
+    def test_basic(self):
+        nest = LoopNest([Loop("i", 1, 3), Loop("j", 1, 4)])
+        assert nest.depth == 2
+        assert nest.trip_counts == (3, 4)
+        assert nest.total_iterations == 12
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LoopNest([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            LoopNest([Loop("i", 1, 2), Loop("i", 1, 2)])
+
+    def test_iterate_order(self):
+        nest = LoopNest([Loop("i", 1, 2), Loop("j", 1, 2)])
+        assert list(nest.iterate()) == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+    def test_contains(self):
+        nest = LoopNest([Loop("i", 1, 3)])
+        assert nest.contains((2,))
+        assert not nest.contains((4,))
+        assert not nest.contains((2, 2))
+
+    def test_linearize_inverse_of_iterate(self):
+        nest = LoopNest([Loop("i", 0, 2), Loop("j", -1, 1)])
+        for pos, point in enumerate(nest.iterate()):
+            assert nest.linearize(point) == pos
+
+    def test_linearize_rejects_outside(self):
+        nest = LoopNest([Loop("i", 1, 3)])
+        with pytest.raises(ValueError):
+            nest.linearize((0,))
+
+    def test_loop_lookup(self):
+        nest = LoopNest([Loop("i", 1, 3), Loop("j", 1, 4)])
+        assert nest.loop("j").upper == 4
+        with pytest.raises(KeyError):
+            nest.loop("k")
+
+    def test_equality_and_hash(self):
+        a = LoopNest([Loop("i", 1, 3)])
+        b = LoopNest([Loop("i", 1, 3)])
+        assert a == b and hash(a) == hash(b)
+
+    @given(nests())
+    @settings(max_examples=50, deadline=None)
+    def test_iteration_count_matches(self, nest):
+        points = list(nest.iterate())
+        assert len(points) == nest.total_iterations
+        assert len(set(points)) == len(points)
+        # Lexicographically sorted by construction.
+        assert points == sorted(points)
+
+    @given(nests())
+    @settings(max_examples=50, deadline=None)
+    def test_linearize_bijection(self, nest):
+        seen = set()
+        for point in nest.iterate():
+            pos = nest.linearize(point)
+            assert 0 <= pos < nest.total_iterations
+            seen.add(pos)
+        assert len(seen) == nest.total_iterations

@@ -1,0 +1,191 @@
+"""Parser and code generator tests, including round-trips."""
+
+import pytest
+
+from repro.ir import (
+    ParseError,
+    generate_source,
+    generate_transformed_source,
+    parse_program,
+)
+from repro.linalg import IntMatrix
+
+
+SIMPLE = """
+for i = 1 to 10 {
+  for j = 1 to 20 {
+    S1: A[i][j] = A[i-1][j+2] + B[2*i + 3*j] + 1
+  }
+}
+"""
+
+
+class TestParser:
+    def test_nest_structure(self):
+        prog = parse_program(SIMPLE)
+        assert prog.nest.index_names == ("i", "j")
+        assert prog.nest.trip_counts == (10, 20)
+
+    def test_refs(self):
+        prog = parse_program(SIMPLE)
+        write = prog.statements[0].writes[0]
+        assert write.array == "A"
+        assert write.access == IntMatrix([[1, 0], [0, 1]])
+        assert write.offset == (0, 0)
+        reads = prog.statements[0].reads
+        assert reads[0].offset == (-1, 2)
+        assert reads[1].access == IntMatrix([[2, 3]])
+
+    def test_labels(self):
+        prog = parse_program(SIMPLE)
+        assert prog.statements[0].label == "S1"
+
+    def test_auto_label(self):
+        prog = parse_program("for i = 1 to 4 { A[i] = A[i-1] }")
+        assert prog.statements[0].label == "S1"
+
+    def test_multiple_statements(self):
+        prog = parse_program(
+            """
+            for i = 1 to 4 {
+              S1: A[i] = 0
+              S2: B[i] = A[i-1]
+            }
+            """
+        )
+        assert len(prog.statements) == 2
+        assert prog.statements[1].reads[0].array == "A"
+
+    def test_semicolon_separated(self):
+        prog = parse_program("for i = 1 to 4 { A[i] = 1; B[i] = A[i] }")
+        assert len(prog.statements) == 2
+
+    def test_array_decls(self):
+        prog = parse_program(
+            """
+            array A[0:12]
+            array B[64]
+            for i = 1 to 4 {
+              A[i] = B[i]
+            }
+            """
+        )
+        assert prog.decl("A").origins == (0,)
+        assert prog.decl("A").declared_size == 13
+        assert prog.decl("B").declared_size == 64
+
+    def test_comments(self):
+        prog = parse_program(
+            """
+            # a comment
+            for i = 1 to 4 {  // inline comment
+              A[i] = 1
+            }
+            """
+        )
+        assert prog.nest.depth == 1
+
+    def test_negative_bounds(self):
+        prog = parse_program("for i = -2 to 2 { A[i] = 1 }")
+        assert prog.nest.loops[0].lower == -2
+
+    def test_pure_use_statement(self):
+        prog = parse_program("for i = 1 to 4 { A[i] + A[i+1] }")
+        stmt = prog.statements[0]
+        assert stmt.writes == ()
+        assert len(stmt.reads) == 2
+
+    def test_complex_subscripts(self):
+        prog = parse_program("for i = 1 to 4 { for j = 1 to 4 { A[2*(i - j) - 3] = 1 } }")
+        ref = prog.statements[0].writes[0]
+        assert ref.access == IntMatrix([[2, -2]])
+        assert ref.offset == (-3,)
+
+    def test_coefficient_after_var(self):
+        prog = parse_program("for i = 1 to 4 { A[i*3 + 1] = 1 }")
+        assert prog.statements[0].writes[0].access == IntMatrix([[3]])
+
+    def test_unary_minus(self):
+        prog = parse_program("for i = 1 to 4 { A[-i + 5] = 1 }")
+        assert prog.statements[0].writes[0].access == IntMatrix([[-1]])
+
+    def test_error_nonaffine(self):
+        with pytest.raises(ParseError):
+            parse_program("for i = 1 to 4 { A[i*i] = 1 }")
+
+    def test_error_unknown_index(self):
+        with pytest.raises(ParseError):
+            parse_program("for i = 1 to 4 { A[k] = 1 }")
+
+    def test_error_empty_loop(self):
+        with pytest.raises(ParseError):
+            parse_program("for i = 4 to 1 { A[i] = 1 }")
+
+    def test_error_missing_brace(self):
+        with pytest.raises(ParseError):
+            parse_program("for i = 1 to 4 { A[i] = 1")
+
+    def test_error_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_program("for i = 1 to 4 { A[i] = 1 } extra")
+
+    def test_error_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_program("for i = 1 to 4 { A[i] = @ }")
+
+    def test_error_message_has_location(self):
+        try:
+            parse_program("for i = 1 to 4 {\n  A[k] = 1\n}")
+        except ParseError as exc:
+            assert "line" in str(exc)
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestCodegen:
+    def test_roundtrip(self):
+        prog = parse_program(SIMPLE)
+        text = generate_source(prog)
+        again = parse_program(text)
+        assert again.nest == prog.nest
+        assert len(again.statements) == len(prog.statements)
+        for s1, s2 in zip(again.statements, prog.statements):
+            assert [(r.array, r.access, r.offset) for r in s1.references] == [
+                (r.array, r.access, r.offset) for r in s2.references
+            ]
+
+    def test_decls_rendered(self):
+        prog = parse_program("array A[0:12]\nfor i = 1 to 4 { A[i] = 1 }")
+        assert "array A[0:12]" in generate_source(prog)
+
+    def test_transformed_interchange(self):
+        prog = parse_program(SIMPLE)
+        text = generate_transformed_source(prog, IntMatrix([[0, 1], [1, 0]]))
+        assert "for u1 = 1 to 20" in text
+        assert "for u2 = 1 to 10" in text
+        # A[i][j] becomes A[u2][u1].
+        assert "A[u2][u1]" in text
+
+    def test_transformed_skew_bounds(self):
+        prog = parse_program("for i = 1 to 4 { for j = 1 to 4 { A[i][j] = 1 } }")
+        text = generate_transformed_source(prog, IntMatrix([[1, 1], [0, 1]]))
+        # Outer skewed index runs 2..8; inner has max/min bounds.
+        assert "for u1 = 2 to 8" in text
+        assert "max(" in text and "min(" in text
+
+    def test_transformed_scan_is_exact(self):
+        # Executing the generated transformed bounds scans exactly the
+        # image of the box under T.
+        from repro.polyhedral import ConstraintSystem, enumerate_lattice_points
+
+        prog = parse_program("for i = 1 to 5 { for j = 1 to 7 { A[i][j] = 1 } }")
+        t = IntMatrix([[2, -3], [1, -1]])
+        system = ConstraintSystem.transformed_nest(prog.nest, t)
+        points = set(enumerate_lattice_points(system))
+        expected = {t.apply(p) for p in prog.nest.iterate()}
+        assert points == expected
+
+    def test_transformation_shape_check(self):
+        prog = parse_program("for i = 1 to 4 { A[i] = 1 }")
+        with pytest.raises(ValueError):
+            generate_transformed_source(prog, IntMatrix([[1, 0], [0, 1]]))

@@ -1,0 +1,237 @@
+"""Tests for ArrayDecl, ArrayRef, Statement and Program."""
+
+import pytest
+
+from repro.ir import ArrayDecl, ArrayRef, NestBuilder, Statement
+from repro.ir.reference import AccessKind
+from repro.linalg import IntMatrix
+
+
+class TestArrayDecl:
+    def test_basic(self):
+        decl = ArrayDecl.of("A", 10, 20)
+        assert decl.rank == 2
+        assert decl.declared_size == 200
+        assert decl.origins == (0, 0)
+
+    def test_origins(self):
+        decl = ArrayDecl.of("A", 5, origins=[-2])
+        assert decl.in_bounds((-2,))
+        assert decl.in_bounds((2,))
+        assert not decl.in_bounds((3,))
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            ArrayDecl.of("3A", 4)
+
+    def test_rejects_zero_extent(self):
+        with pytest.raises(ValueError):
+            ArrayDecl.of("A", 0)
+
+    def test_rejects_no_dims(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("A", ())
+
+    def test_rejects_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("A", (3, 4), (0,))
+
+    def test_in_bounds_rank_check(self):
+        assert not ArrayDecl.of("A", 4).in_bounds((1, 1))
+
+    def test_str(self):
+        assert "A" in str(ArrayDecl.of("A", 4, origins=[1]))
+
+
+class TestArrayRef:
+    def test_element(self):
+        ref = ArrayRef.of("A", [[1, 0], [0, 1]], [-1, 2])
+        assert ref.element((5, 7)) == (4, 9)
+
+    def test_rank_and_depth(self):
+        ref = ArrayRef.of("A", [[2, 5]], [1])
+        assert ref.rank == 1
+        assert ref.nest_depth == 2
+
+    def test_offset_length_check(self):
+        with pytest.raises(ValueError):
+            ArrayRef.of("A", [[1, 0]], [1, 2])
+
+    def test_uniformly_generated(self):
+        a = ArrayRef.of("A", [[1, 0], [0, 1]], [0, 0])
+        b = ArrayRef.of("A", [[1, 0], [0, 1]], [-1, 2])
+        c = ArrayRef.of("A", [[1, 1], [0, 1]], [0, 0])
+        d = ArrayRef.of("B", [[1, 0], [0, 1]], [0, 0])
+        assert a.uniformly_generated_with(b)
+        assert not a.uniformly_generated_with(c)
+        assert not a.uniformly_generated_with(d)
+
+    def test_reuse_directions(self):
+        assert ArrayRef.of("A", [[2, 5]], [1]).reuse_directions() == [(5, -2)]
+        assert ArrayRef.of("A", [[1, 0], [0, 1]], [0, 0]).reuse_directions() == []
+
+    def test_with_kind(self):
+        ref = ArrayRef.of("A", [[1]], [0])
+        assert ref.with_kind(AccessKind.WRITE).is_write
+
+    def test_subscript_strings(self):
+        ref = ArrayRef.of("A", [[2, -1], [0, 3]], [5, -2])
+        subs = ref.subscript_strings(["i", "j"])
+        assert subs == ["2*i - j + 5", "3*j - 2"]
+
+    def test_subscript_constant_only(self):
+        ref = ArrayRef.of("A", [[0, 0]], [7])
+        assert ref.subscript_strings(["i", "j"]) == ["7"]
+
+    def test_subscript_zero(self):
+        ref = ArrayRef.of("A", [[0, 0]], [0])
+        assert ref.subscript_strings(["i", "j"]) == ["0"]
+
+
+class TestStatement:
+    def test_assign(self):
+        stmt = Statement.assign(
+            "S1",
+            ArrayRef.of("A", [[1]], [0]),
+            [ArrayRef.of("B", [[1]], [0])],
+        )
+        assert stmt.writes[0].is_write
+        assert not stmt.reads[0].is_write
+        assert stmt.arrays == {"A", "B"}
+
+    def test_pure_use(self):
+        stmt = Statement.assign("S1", None, [ArrayRef.of("B", [[1]], [0])])
+        assert stmt.writes == ()
+
+    def test_references_order(self):
+        stmt = Statement.assign(
+            "S1",
+            ArrayRef.of("A", [[1]], [0]),
+            [ArrayRef.of("B", [[1]], [0])],
+        )
+        # Reads execute before writes.
+        assert stmt.references[0].array == "B"
+        assert stmt.references[-1].array == "A"
+
+    def test_kind_validation(self):
+        write_ref = ArrayRef.of("A", [[1]], [0], AccessKind.WRITE)
+        with pytest.raises(ValueError):
+            Statement("S1", writes=(), reads=(write_ref,))
+
+
+class TestProgram:
+    def build(self):
+        return (
+            NestBuilder("p")
+            .loop("i", 1, 10)
+            .loop("j", 1, 10)
+            .statement(
+                "S1",
+                write=("A", [[1, 0], [0, 1]], [0, 0]),
+                reads=[("A", [[1, 0], [0, 1]], [-1, 2]), ("B", [[2, 3]], [0])],
+            )
+            .build()
+        )
+
+    def test_arrays(self):
+        assert self.build().arrays == ("A", "B")
+
+    def test_refs_to(self):
+        assert len(self.build().refs_to("A")) == 2
+
+    def test_uniformity(self):
+        prog = self.build()
+        assert prog.is_uniformly_generated("A")
+        assert prog.is_uniformly_generated("B")
+
+    def test_inferred_decl(self):
+        prog = self.build()
+        decl = prog.decl("A")
+        # i in 1..10, i-1 in 0..9 -> rows 0..10; j in 1..10, j+2 in 3..12.
+        assert decl.origins == (0, 1)
+        assert decl.extents == (11, 12)
+
+    def test_inferred_decl_negative_coeff(self):
+        prog = (
+            NestBuilder()
+            .loop("i", 1, 10)
+            .use("S1", ("A", [[-1]], [0]))
+            .build()
+        )
+        decl = prog.decl("A")
+        assert decl.origins == (-10,)
+        assert decl.extents == (10,)
+
+    def test_default_memory(self):
+        prog = self.build()
+        assert prog.default_memory == sum(d.declared_size for d in prog.decls)
+
+    def test_explicit_decl_wins(self):
+        prog = (
+            NestBuilder()
+            .loop("i", 1, 4)
+            .declare("A", 100)
+            .use("S1", ("A", [[1]], [0]))
+            .build()
+        )
+        assert prog.decl("A").declared_size == 100
+
+    def test_depth_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            (
+                NestBuilder()
+                .loop("i", 1, 4)
+                .use("S1", ("A", [[1, 0]], [0]))
+                .build()
+            )
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            (
+                NestBuilder()
+                .loop("i", 1, 4)
+                .use("S1", ("A", [[1]], [0]))
+                .use("S2", ("A", [[1], [0]], [0, 0]))
+                .build()
+            )
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            (
+                NestBuilder()
+                .loop("i", 1, 4)
+                .use("S1", ("A", [[1]], [0]))
+                .use("S1", ("A", [[1]], [1]))
+                .build()
+            )
+
+    def test_needs_statement(self):
+        with pytest.raises(ValueError):
+            NestBuilder().loop("i", 1, 4).build()
+
+    def test_access_events_count(self):
+        prog = self.build()
+        events = list(prog.access_events())
+        assert len(events) == 100 * 3
+        events_a = list(prog.access_events("A"))
+        assert len(events_a) == 200
+
+    def test_access_events_ordering(self):
+        prog = self.build()
+        events = list(prog.access_events())
+        times = [(e.time, e.ordinal) for e in events]
+        assert times == sorted(times)
+
+    def test_unknown_array(self):
+        with pytest.raises(KeyError):
+            self.build().decl("Z")
+
+    def test_builder_auto_labels(self):
+        prog = (
+            NestBuilder()
+            .loop("i", 1, 2)
+            .use(None, ("A", [[1]], [0]))
+            .use(None, ("A", [[1]], [1]))
+            .build()
+        )
+        assert [s.label for s in prog.statements] == ["S1", "S2"]

@@ -1,0 +1,71 @@
+"""Unit tests for the extended kernel suite and kernel structure."""
+
+import pytest
+
+from repro.dependence import program_dependences
+from repro.kernels.extended import (
+    EXTENDED_KERNELS,
+    conv2d,
+    downsample,
+    fir,
+    matvec,
+    transpose,
+)
+from repro.window import max_window_size
+
+
+class TestExtendedKernels:
+    def test_registry(self):
+        assert len(EXTENDED_KERNELS) == 5
+        names = [spec.name for spec in EXTENDED_KERNELS]
+        assert names == ["conv2d", "transpose", "fir", "downsample", "matvec"]
+
+    def test_all_build(self):
+        for spec in EXTENDED_KERNELS:
+            prog = spec.build()
+            assert prog.nest.total_iterations > 0
+
+    def test_conv2d_reads(self):
+        prog = conv2d(8, 3)
+        stmt = prog.statements[0]
+        assert len([r for r in stmt.reads if r.array == "A"]) == 9
+
+    def test_conv2d_kernel_scalar_is_reduction_free(self):
+        prog = conv2d(8, 3)
+        deps = program_dependences(prog, include_input=False)
+        # K is read-only and scalar-addressed: no ordering constraints
+        # from it; B written once per element: no output deps.
+        assert all(dep.array == "A" or dep.reduction for dep in deps) or not deps
+
+    def test_transpose_access(self):
+        prog = transpose(6)
+        read = prog.statements[0].reads[0]
+        assert read.element((2, 5)) == (5, 2)
+
+    def test_transpose_distinct_counts(self):
+        from repro.estimation import exact_distinct_accesses
+
+        prog = transpose(6)
+        assert exact_distinct_accesses(prog, "A") == 36
+        assert exact_distinct_accesses(prog, "B") == 36
+
+    def test_fir_window_scales_with_taps(self):
+        short = max_window_size(fir(64, 4), "X")
+        long = max_window_size(fir(64, 16), "X")
+        assert short < long
+        assert abs(long - 16) <= 2
+
+    def test_downsample_stride(self):
+        prog = downsample(8, 2)
+        read = prog.statements[0].reads[0]
+        assert read.element((3, 4)) == (6, 8)
+
+    def test_matvec_y_window_small(self):
+        prog = matvec(16)
+        # Y[i] is accumulated within one i-row: tiny live set.
+        assert max_window_size(prog, "Y") <= 2
+
+    def test_matvec_matrix_streams(self):
+        prog = matvec(16)
+        # Each A element is read exactly once: empty window.
+        assert max_window_size(prog, "A") == 0

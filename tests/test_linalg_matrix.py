@@ -1,0 +1,197 @@
+"""Unit and property tests for repro.linalg.matrix.IntMatrix."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import IntMatrix
+
+
+def small_matrix(n_rows, n_cols, lo=-6, hi=6):
+    return st.lists(
+        st.lists(st.integers(lo, hi), min_size=n_cols, max_size=n_cols),
+        min_size=n_rows,
+        max_size=n_rows,
+    ).map(IntMatrix)
+
+
+square = st.integers(1, 4).flatmap(lambda n: small_matrix(n, n))
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = IntMatrix([[1, 2], [3, 4]])
+        assert m.shape == (2, 2)
+        assert m[1, 0] == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IntMatrix([])
+
+    def test_rejects_empty_rows(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[]])
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2], [3]])
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            IntMatrix([[1.5]])
+
+    def test_rejects_bools(self):
+        with pytest.raises(TypeError):
+            IntMatrix([[True]])
+
+    def test_identity(self):
+        assert IntMatrix.identity(3).rows == ((1, 0, 0), (0, 1, 0), (0, 0, 1))
+
+    def test_zeros(self):
+        assert IntMatrix.zeros(2, 3).rows == ((0, 0, 0), (0, 0, 0))
+
+    def test_column(self):
+        assert IntMatrix.column([1, 2]).shape == (2, 1)
+
+    def test_repr_roundtrip(self):
+        m = IntMatrix([[1, -2], [0, 5]])
+        assert eval(repr(m)) == m
+
+    def test_pretty_contains_entries(self):
+        text = IntMatrix([[10, -2]]).pretty()
+        assert "10" in text and "-2" in text
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = IntMatrix([[1, 2], [3, 4]])
+        b = IntMatrix([[5, 6], [7, 8]])
+        assert (a + b) - b == a
+
+    def test_neg(self):
+        a = IntMatrix([[1, -2]])
+        assert -(-a) == a
+
+    def test_scale(self):
+        assert IntMatrix([[1, 2]]).scale(3) == IntMatrix([[3, 6]])
+
+    def test_matmul(self):
+        a = IntMatrix([[1, 2], [3, 4]])
+        b = IntMatrix([[0, 1], [1, 0]])
+        assert a @ b == IntMatrix([[2, 1], [4, 3]])
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2]]) @ IntMatrix([[1, 2]])
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1]]) + IntMatrix([[1, 2]])
+
+    def test_apply(self):
+        m = IntMatrix([[2, 0], [0, 3]])
+        assert m.apply((4, 5)) == (8, 15)
+
+    def test_apply_length_mismatch(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2]]).apply((1,))
+
+    def test_transpose_involution(self):
+        m = IntMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.transpose().transpose() == m
+
+    @given(square, square)
+    @settings(max_examples=60)
+    def test_matmul_identity(self, a, b):
+        n = a.n_rows
+        assert a @ IntMatrix.identity(n) == a
+        assert IntMatrix.identity(n) @ a == a
+
+
+class TestDeterminant:
+    def test_2x2(self):
+        assert IntMatrix([[1, 2], [3, 4]]).det() == -2
+
+    def test_singular(self):
+        assert IntMatrix([[1, 2], [2, 4]]).det() == 0
+
+    def test_1x1(self):
+        assert IntMatrix([[7]]).det() == 7
+
+    def test_3x3_known(self):
+        m = IntMatrix([[2, 0, 1], [1, 1, 0], [0, 3, 1]])
+        assert m.det() == 2 * (1 * 1 - 0 * 3) - 0 + 1 * (1 * 3 - 0)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2]]).det()
+
+    @given(square)
+    @settings(max_examples=80)
+    def test_det_transpose(self, m):
+        assert m.det() == m.transpose().det()
+
+    @given(st.integers(1, 3).flatmap(lambda n: st.tuples(small_matrix(n, n), small_matrix(n, n))))
+    @settings(max_examples=80)
+    def test_det_multiplicative(self, pair):
+        a, b = pair
+        assert (a @ b).det() == a.det() * b.det()
+
+    def test_det_permutation_sign(self):
+        assert IntMatrix([[0, 1], [1, 0]]).det() == -1
+
+    def test_zero_column_pivot_path(self):
+        # Exercises the pivot search when m[k][k] == 0.
+        m = IntMatrix([[0, 1, 2], [1, 0, 3], [4, 5, 0]])
+        # Laplace check
+        expected = 0 * (0 - 15) - 1 * (0 - 12) + 2 * (5 - 0)
+        assert m.det() == expected
+
+
+class TestRankInverse:
+    def test_rank_full(self):
+        assert IntMatrix([[1, 0], [0, 1]]).rank() == 2
+
+    def test_rank_deficient(self):
+        assert IntMatrix([[1, 2], [2, 4]]).rank() == 1
+
+    def test_rank_wide(self):
+        assert IntMatrix([[3, 0, 1], [0, 1, 1]]).rank() == 2
+
+    def test_rank_zero_matrix(self):
+        assert IntMatrix.zeros(3, 3).rank() == 0
+
+    def test_inverse_unimodular(self):
+        m = IntMatrix([[2, 3], [1, 2]])
+        inv = m.inverse_unimodular()
+        assert m @ inv == IntMatrix.identity(2)
+
+    def test_inverse_det_minus_one(self):
+        m = IntMatrix([[0, 1], [1, 0]])
+        assert m @ m.inverse_unimodular() == IntMatrix.identity(2)
+
+    def test_inverse_rejects_non_unimodular(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[2, 0], [0, 1]]).inverse_unimodular()
+
+    def test_inverse_1x1(self):
+        assert IntMatrix([[-1]]).inverse_unimodular() == IntMatrix([[-1]])
+
+
+class TestPredicates:
+    def test_is_identity(self):
+        assert IntMatrix.identity(2).is_identity()
+        assert not IntMatrix([[1, 1], [0, 1]]).is_identity()
+
+    def test_is_zero(self):
+        assert IntMatrix.zeros(2, 2).is_zero()
+        assert not IntMatrix.identity(2).is_zero()
+
+    def test_hashable(self):
+        assert len({IntMatrix.identity(2), IntMatrix.identity(2)}) == 1
+
+    def test_to_lists_is_copy(self):
+        m = IntMatrix([[1, 2]])
+        lists = m.to_lists()
+        lists[0][0] = 99
+        assert m[0, 0] == 1

@@ -1,0 +1,114 @@
+"""Coverage sweep for smaller surfaces: viz edge cases, report objects,
+energy totals, codegen bound evaluators, search results."""
+
+import pytest
+from fractions import Fraction
+
+from repro.core import analyze_program, full_report
+from repro.ir import parse_program
+from repro.linalg import IntMatrix
+from repro.memory import MemoryCostModel
+from repro.polyhedral import ConstraintSystem, loop_bounds
+from repro.reporting import Figure2Row, render_table
+from repro.transform.search import SearchResult
+from repro.viz import render_profile_bars, sparkline
+from repro.window.simulator import WindowProfile
+
+
+class TestWindowProfileObject:
+    def test_empty_profile(self):
+        profile = WindowProfile("A", ())
+        assert profile.max_size == 0
+        assert profile.average_size == 0.0
+
+    def test_average(self):
+        profile = WindowProfile("A", (0, 2, 4))
+        assert profile.average_size == 2.0
+        assert profile.argmax() == 2
+
+
+class TestVizEdges:
+    def test_sparkline_width_one(self):
+        assert len(sparkline([5, 1, 3], width=1)) == 1
+
+    def test_sparkline_constant(self):
+        line = sparkline([7, 7, 7])
+        assert set(line) == {"@"}
+
+    def test_bars_zero_peak(self):
+        art = render_profile_bars([0, 0, 0], height=3)
+        assert "0 +" in art
+
+    def test_bars_no_title(self):
+        art = render_profile_bars([1, 2], height=2)
+        assert art.splitlines()[0].endswith("#") or "|" in art
+
+
+class TestReportingObjects:
+    def test_row_reductions(self):
+        row = Figure2Row("k", 100, 25, 10, 70.0, 85.0)
+        assert row.unopt_reduction == 75.0
+        assert row.opt_reduction == 90.0
+
+    def test_render_empty(self):
+        text = render_table([])
+        assert "code" in text
+
+    def test_search_result_str(self):
+        result = SearchResult("X", IntMatrix.identity(2), Fraction(5), 4, 10, "m")
+        assert "X" in str(result) and "exact=4" in str(result)
+
+    def test_search_result_unknown_exact(self):
+        result = SearchResult("X", IntMatrix.identity(2), Fraction(5), None, 10, "m")
+        assert "exact=?" in str(result)
+
+
+class TestEnergyTotals:
+    def test_total_energy_components(self):
+        model = MemoryCostModel()
+        base = model.total_energy_pj(1024, 100, 0)
+        with_traffic = model.total_energy_pj(1024, 100, 10, offchip_energy_pj=50.0)
+        assert with_traffic == pytest.approx(base + 500.0)
+
+    def test_custom_exponents(self):
+        flat = MemoryCostModel(energy_exponent=0.0)
+        assert flat.energy_per_access_pj(64) == flat.energy_per_access_pj(65536)
+
+
+class TestBoundEvaluators:
+    def test_skewed_bounds_evaluate(self):
+        prog = parse_program("for i = 1 to 5 { for j = 1 to 4 { A[i][j] = 1 } }")
+        system = ConstraintSystem.transformed_nest(prog.nest, IntMatrix([[1, 1], [0, 1]]))
+        bounds = loop_bounds(system)
+        # Outer u1 = i + j in [2, 9]; inner u2 = j in [max(1, u1-5), min(4, u1-1)].
+        assert bounds[0].lower_value(()) == 2
+        assert bounds[0].upper_value(()) == 9
+        assert bounds[1].lower_value((2,)) == 1
+        assert bounds[1].upper_value((2,)) == 1
+        assert bounds[1].lower_value((9,)) == 4
+
+    def test_render_min_max(self):
+        prog = parse_program("for i = 1 to 5 { for j = 1 to 4 { A[i][j] = 1 } }")
+        system = ConstraintSystem.transformed_nest(prog.nest, IntMatrix([[1, 1], [0, 1]]))
+        bounds = loop_bounds(system)
+        assert "max(" in bounds[1].render_lower(["u1"])
+        assert "min(" in bounds[1].render_upper(["u1"])
+
+
+class TestPipelineObjects:
+    def test_analysis_str_lists_arrays(self):
+        prog = parse_program(
+            "for i = 1 to 6 { B[i] = A[i] + A[i-1] }", name="tiny"
+        )
+        text = str(analyze_program(prog))
+        assert "window[A]" in text and "window[B]" in text
+
+    def test_full_report_row_consistency(self):
+        prog = parse_program(
+            "for i = 1 to 6 { B[i] = A[i] + A[i-2] }", name="tiny"
+        )
+        report = full_report(prog)
+        name, default, unopt, opt = report.figure2_row
+        assert name == "tiny"
+        assert default == prog.default_memory
+        assert opt <= unopt

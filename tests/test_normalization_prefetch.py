@@ -1,0 +1,110 @@
+"""Tests for loop normalization and the double-buffering model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation import exact_distinct_accesses
+from repro.ir import parse_program
+from repro.ir.generate import GeneratorConfig, random_program
+from repro.memory.prefetch import best_tile_for_budget, plan_double_buffering
+from repro.transform.normalization import is_unit_based, normalize_lower_bounds
+from repro.window import max_total_window, max_window_size
+
+
+class TestNormalization:
+    def test_identity_on_unit_based(self):
+        prog = parse_program("for i = 1 to 9 { A[i] = A[i-1] }")
+        assert normalize_lower_bounds(prog) is prog
+
+    def test_shifts_bounds(self):
+        prog = parse_program("for i = -3 to 6 { A[i] = A[i-1] }")
+        norm = normalize_lower_bounds(prog)
+        assert is_unit_based(norm)
+        assert norm.nest.trip_counts == prog.nest.trip_counts
+
+    def test_preserves_touched_set(self):
+        prog = parse_program(
+            "for i = 0 to 7 { for j = 5 to 12 { A[2*i + j] = A[2*i + j - 3] } }"
+        )
+        norm = normalize_lower_bounds(prog)
+        original = {
+            ref.element(p)
+            for p in prog.nest.iterate()
+            for ref in prog.references
+        }
+        shifted = {
+            ref.element(p)
+            for p in norm.nest.iterate()
+            for ref in norm.references
+        }
+        assert original == shifted
+
+    @given(st.integers(0, 50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_analysis_invariant(self, seed):
+        prog = random_program(seed, GeneratorConfig(max_trip=6))
+        norm = normalize_lower_bounds(prog)
+        for array in prog.arrays:
+            assert exact_distinct_accesses(prog, array) == exact_distinct_accesses(
+                norm, array
+            )
+            assert max_window_size(prog, array) == max_window_size(norm, array)
+        assert max_total_window(prog) == max_total_window(norm)
+
+
+class TestDoubleBuffering:
+    PROG = """
+    for i = 1 to 16 {
+      for j = 1 to 16 {
+        B[i][j] = A[i-1][j] + A[i][j]
+      }
+    }
+    """
+
+    def test_plan_shape(self):
+        prog = parse_program(self.PROG)
+        plan = plan_double_buffering(prog, (4, 4))
+        assert plan.tile_iterations == 16
+        assert plan.buffer_words == 2 * plan.tile_footprint_words
+        assert plan.n_tiles == 16
+        assert plan.total_transfer_words == plan.n_tiles * plan.tile_footprint_words
+
+    def test_bigger_tiles_amortize(self):
+        prog = parse_program(self.PROG)
+        small = plan_double_buffering(prog, (2, 2))
+        large = plan_double_buffering(prog, (8, 8))
+        assert large.words_per_iteration < small.words_per_iteration
+
+    def test_bandwidth_math(self):
+        prog = parse_program(self.PROG)
+        plan = plan_double_buffering(prog, (4, 4))
+        need = plan.bandwidth_required(compute_time_per_iteration=1.0)
+        assert plan.transfers_hidden(need, 1.0)
+        assert not plan.transfers_hidden(need * 0.5, 1.0)
+
+    def test_bandwidth_validation(self):
+        prog = parse_program(self.PROG)
+        plan = plan_double_buffering(prog, (4, 4))
+        with pytest.raises(ValueError):
+            plan.bandwidth_required(0)
+
+    def test_tile_validation(self):
+        prog = parse_program(self.PROG)
+        with pytest.raises(ValueError):
+            plan_double_buffering(prog, (4,))
+        with pytest.raises(ValueError):
+            plan_double_buffering(prog, (0, 4))
+
+    def test_best_tile_fits_budget(self):
+        prog = parse_program(self.PROG)
+        plan = best_tile_for_budget(prog, capacity_words=80, max_size=16)
+        assert plan.buffer_words <= 80
+        bigger = (plan.tile[0] + 1,) * 2
+        if bigger[0] <= 16:
+            assert plan_double_buffering(prog, bigger).buffer_words > 80
+
+    def test_budget_too_small(self):
+        prog = parse_program(self.PROG)
+        with pytest.raises(ValueError):
+            best_tile_for_budget(prog, capacity_words=1)

@@ -1,0 +1,202 @@
+"""Tests for constraint systems, Fourier-Motzkin and lattice counting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import Loop, LoopNest
+from repro.linalg import IntMatrix, random_unimodular
+from repro.polyhedral import (
+    Constraint,
+    ConstraintSystem,
+    count_distinct_affine_1d,
+    count_lattice_points,
+    eliminate_variable,
+    enumerate_lattice_points,
+    loop_bounds,
+)
+from repro.polyhedral.counting import count_image_exact
+from repro.ir.reference import ArrayRef
+
+
+class TestConstraint:
+    def test_satisfied(self):
+        con = Constraint((1, -2), 3)  # x - 2y + 3 >= 0
+        assert con.satisfied_by((1, 2))
+        assert not con.satisfied_by((0, 2))
+
+    def test_trivial(self):
+        assert Constraint((0, 0), -1).is_contradiction()
+        assert not Constraint((0, 0), 0).is_contradiction()
+        assert Constraint((0, 0), 5).is_trivial()
+
+    def test_normalized(self):
+        con = Constraint((2, 4), 5).normalized()
+        assert con.coeffs == (1, 2)
+        assert con.const == 2  # floor(5/2)
+
+    def test_normalized_preserves_integer_solutions(self):
+        raw = Constraint((3, 6), 7)
+        norm = raw.normalized()
+        for x in range(-5, 6):
+            for y in range(-5, 6):
+                assert raw.satisfied_by((x, y)) == norm.satisfied_by((x, y))
+
+    def test_render(self):
+        text = Constraint((1, -2), 3).render(["i", "j"])
+        assert "i" in text and "j" in text and ">= 0" in text
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Constraint((1,), 0).satisfied_by((1, 2))
+
+
+class TestConstraintSystem:
+    def test_from_nest(self):
+        nest = LoopNest([Loop("i", 1, 5), Loop("j", 2, 4)])
+        system = ConstraintSystem.from_nest(nest)
+        assert system.satisfied_by((1, 2))
+        assert system.satisfied_by((5, 4))
+        assert not system.satisfied_by((0, 3))
+        assert not system.satisfied_by((3, 5))
+
+    def test_transformed_nest_membership(self):
+        nest = LoopNest([Loop("i", 1, 4), Loop("j", 1, 4)])
+        t = IntMatrix([[1, 1], [0, 1]])
+        system = ConstraintSystem.transformed_nest(nest, t)
+        image = {t.apply(p) for p in nest.iterate()}
+        for u1 in range(0, 10):
+            for u2 in range(0, 6):
+                assert system.satisfied_by((u1, u2)) == ((u1, u2) in image)
+
+    def test_add_bounds(self):
+        system = ConstraintSystem(["x"])
+        system.add_lower(0, 2)
+        system.add_upper(0, 5)
+        assert system.satisfied_by((2,)) and system.satisfied_by((5,))
+        assert not system.satisfied_by((1,)) and not system.satisfied_by((6,))
+
+    def test_copy_independent(self):
+        system = ConstraintSystem(["x"])
+        system.add_lower(0, 0)
+        clone = system.copy()
+        clone.add_upper(0, 3)
+        assert len(system.constraints) == 1
+
+
+class TestFourierMotzkin:
+    def test_eliminate_box(self):
+        nest = LoopNest([Loop("i", 1, 5), Loop("j", 2, 7)])
+        system = ConstraintSystem.from_nest(nest)
+        bounds, projected = eliminate_variable(system, 1)
+        assert bounds.lower_value((3,)) == 2
+        assert bounds.upper_value((3,)) == 7
+        # Projection of a box is the outer interval.
+        assert projected.satisfied_by((1,)) and projected.satisfied_by((5,))
+
+    def test_unbounded_raises(self):
+        system = ConstraintSystem(["x", "y"])
+        system.add_lower(1, 0)
+        system.add_lower(0, 0)
+        system.add_upper(0, 4)
+        with pytest.raises(ValueError):
+            eliminate_variable(system, 1)
+
+    def test_loop_bounds_identity_box(self):
+        nest = LoopNest([Loop("i", 1, 5), Loop("j", 2, 7)])
+        bounds = loop_bounds(ConstraintSystem.from_nest(nest))
+        assert bounds[0].lower_value(()) == 1
+        assert bounds[0].upper_value(()) == 5
+        assert bounds[1].lower_value((3,)) == 2
+        assert bounds[1].upper_value((3,)) == 7
+
+    def test_render_with_divisors(self):
+        system = ConstraintSystem(["i", "j"])
+        system.add(Constraint((2, 1), -3))  # 2i + j - 3 >= 0 -> j >= 3 - 2i
+        system.add(Constraint((0, -1), 10))
+        system.add_lower(0, 0)
+        system.add_upper(0, 5)
+        bounds = loop_bounds(system)
+        text = bounds[1].render_lower(["i"])
+        assert "i" in text
+
+    def test_ceild_floord_rendering(self):
+        system = ConstraintSystem(["i", "j"])
+        system.add(Constraint((1, 2), 0))   # j >= -i/2
+        system.add(Constraint((1, -2), 8))  # j <= (i+8)/2
+        system.add_lower(0, 0)
+        system.add_upper(0, 4)
+        bounds = loop_bounds(system)
+        assert "ceild" in bounds[1].render_lower(["i"])
+        assert "floord" in bounds[1].render_upper(["i"])
+
+
+def small_nests():
+    return st.lists(
+        st.tuples(st.integers(1, 3), st.integers(1, 5)),
+        min_size=2,
+        max_size=3,
+    ).map(
+        lambda dims: LoopNest(
+            [Loop(f"i{k}", lo, lo + t - 1) for k, (lo, t) in enumerate(dims)]
+        )
+    )
+
+
+class TestLattice:
+    def test_count_box(self):
+        nest = LoopNest([Loop("i", 1, 4), Loop("j", 1, 6)])
+        system = ConstraintSystem.from_nest(nest)
+        assert count_lattice_points(system) == 24
+
+    def test_enumerate_order(self):
+        nest = LoopNest([Loop("i", 1, 3), Loop("j", 1, 3)])
+        system = ConstraintSystem.from_nest(nest)
+        points = list(enumerate_lattice_points(system))
+        assert points == sorted(points)
+
+    @given(small_nests(), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_unimodular_image_count_preserved(self, nest, seed):
+        t = random_unimodular(nest.depth, random.Random(seed), steps=6, max_mult=2)
+        system = ConstraintSystem.transformed_nest(nest, t)
+        assert count_lattice_points(system) == nest.total_iterations
+
+    @given(small_nests(), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_unimodular_image_points_exact(self, nest, seed):
+        t = random_unimodular(nest.depth, random.Random(seed), steps=6, max_mult=2)
+        system = ConstraintSystem.transformed_nest(nest, t)
+        points = set(enumerate_lattice_points(system))
+        assert points == {t.apply(p) for p in nest.iterate()}
+
+
+class TestCounting:
+    def test_count_image_exact(self):
+        nest = LoopNest([Loop("i", 1, 20), Loop("j", 1, 10)])
+        ref = ArrayRef.of("A", [[2, 5]], [1])
+        assert count_image_exact(nest, [ref]) == 80  # paper Example 4
+
+    @given(
+        st.integers(-8, 8),
+        st.integers(-8, 8),
+        st.integers(1, 15),
+        st.integers(1, 15),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_affine_1d_matches_enumeration(self, a, b, n1, n2):
+        expected = len(
+            {a * i + b * j for i in range(1, n1 + 1) for j in range(1, n2 + 1)}
+        )
+        assert count_distinct_affine_1d(a, b, n1, n2) == expected
+
+    def test_affine_1d_paper_case(self):
+        assert count_distinct_affine_1d(3, 7, 20, 20) == 179
+
+    def test_affine_1d_degenerate(self):
+        assert count_distinct_affine_1d(0, 0, 5, 5) == 1
+        assert count_distinct_affine_1d(1, 0, 5, 9) == 5
+        assert count_distinct_affine_1d(0, 4, 5, 9) == 9
+        assert count_distinct_affine_1d(3, 7, 0, 5) == 0

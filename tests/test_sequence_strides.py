@@ -1,0 +1,127 @@
+"""Tests for nest sequences and stride normalization."""
+
+import pytest
+
+from repro.ir import parse_program
+from repro.ir.sequence import ProgramSequence, sequence_memory_report
+from repro.window import max_total_window
+
+
+class TestStrides:
+    def test_stride_normalization(self):
+        prog = parse_program("for i = 0 to 8 step 2 { A[i] = 1 }")
+        # Normalized loop runs 1..5; access becomes A[2*k - 2].
+        assert prog.nest.trip_counts == (5,)
+        ref = prog.statements[0].writes[0]
+        assert ref.access.rows == ((2,),)
+        assert ref.offset == (-2,)
+        touched = {ref.element(p)[0] for p in prog.nest.iterate()}
+        assert touched == {0, 2, 4, 6, 8}
+
+    def test_stride_with_nonzero_lower(self):
+        prog = parse_program("for i = 3 to 11 step 4 { A[i] = 1 }")
+        ref = prog.statements[0].writes[0]
+        touched = sorted(ref.element(p)[0] for p in prog.nest.iterate())
+        assert touched == [3, 7, 11]
+
+    def test_stride_inner_loop(self):
+        prog = parse_program(
+            "for i = 1 to 4 { for j = 0 to 6 step 3 { A[i][j] = 1 } }"
+        )
+        assert prog.nest.trip_counts == (4, 3)
+        touched = {
+            prog.statements[0].writes[0].element(p)
+            for p in prog.nest.iterate()
+        }
+        assert touched == {(i, j) for i in range(1, 5) for j in (0, 3, 6)}
+
+    def test_stride_partial_last(self):
+        # 1..10 step 3 -> 1, 4, 7, 10.
+        prog = parse_program("for i = 1 to 10 step 3 { A[i] = 1 }")
+        assert prog.nest.trip_counts == (4,)
+
+    def test_bad_step_rejected(self):
+        from repro.ir import ParseError
+
+        with pytest.raises(ParseError):
+            parse_program("for i = 1 to 10 step 0 { A[i] = 1 }")
+        with pytest.raises(ParseError):
+            parse_program("for i = 1 to 10 step -2 { A[i] = 1 }")
+
+    def test_stride_empty_loop_rejected(self):
+        from repro.ir import ParseError
+
+        with pytest.raises(ParseError):
+            parse_program("for i = 10 to 1 step 2 { A[i] = 1 }")
+
+    def test_strided_window_analysis(self):
+        # A strided reference reuses elements across the stride lattice.
+        prog = parse_program(
+            """
+            for t = 1 to 3 {
+              for i = 0 to 14 step 2 {
+                B[0] = A[i]
+              }
+            }
+            """
+        )
+        assert max_total_window(prog) > 0
+
+
+class TestSequences:
+    def make(self):
+        produce = parse_program(
+            "for i = 1 to 8 { for j = 1 to 8 { T[i][j] = A[i][j] } }",
+            name="produce",
+        )
+        consume = parse_program(
+            "for i = 1 to 8 { for j = 1 to 8 { B[i][j] = T[i][j] + T[i-1][j] } }",
+            name="consume",
+        )
+        return ProgramSequence([produce, consume], name="chain")
+
+    def test_structure(self):
+        seq = self.make()
+        assert seq.arrays == ("A", "T", "B")
+        assert seq.producers("T") == [0]
+        assert 1 in seq.consumers("T")
+
+    def test_live_between(self):
+        seq = self.make()
+        live = seq.live_between("T", 0)
+        # All 64 produced elements are read by the consumer (T[i][j]).
+        assert len(live) == 64
+
+    def test_live_between_unconsumed(self):
+        seq = self.make()
+        assert seq.live_between("B", 0) == set()
+
+    def test_boundary_validation(self):
+        seq = self.make()
+        with pytest.raises(ValueError):
+            seq.live_between("T", 1)
+
+    def test_memory_report(self):
+        seq = self.make()
+        report = sequence_memory_report(seq)
+        assert report.per_boundary == (64,)
+        # The requirement is dominated by the carried T tile plus the
+        # running nest's window.
+        assert report.requirement >= 64
+        assert report.requirement <= report.declared
+        assert 0.0 <= report.saving <= 1.0
+
+    def test_duplicate_names_rejected(self):
+        p = parse_program("for i = 1 to 4 { A[i] = 1 }", name="x")
+        with pytest.raises(ValueError):
+            ProgramSequence([p, p])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramSequence([])
+
+    def test_single_nest_sequence(self):
+        p = parse_program("for i = 1 to 4 { A[i] = A[i-1] }", name="only")
+        report = sequence_memory_report(ProgramSequence([p]))
+        assert report.per_boundary == ()
+        assert report.requirement == max_total_window(p)

@@ -1,0 +1,150 @@
+"""Tests for the symbolic (sympy) closed forms."""
+
+import pytest
+import sympy
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation import estimate_distinct_accesses
+from repro.estimation.symbolic import (
+    max_problem_size,
+    symbolic_distinct_accesses,
+    symbolic_reuse,
+    trip_symbols,
+)
+from repro.ir import NestBuilder, parse_program
+from repro.window import mws_2d_estimate, mws_3d_estimate
+from repro.window.symbolic import (
+    scaling_exponent,
+    symbolic_mws_2d,
+    symbolic_mws_3d,
+)
+
+
+class TestSymbolicReuse:
+    def test_example2_shape(self):
+        n1, n2 = trip_symbols(2)
+        expr = symbolic_reuse([(1, -2)], (n1, n2))
+        assert sympy.simplify(expr - (n1 - 1) * (n2 - 2)) == 0
+
+    def test_example3_value(self):
+        trips = trip_symbols(2)
+        expr = symbolic_reuse([(1, 0), (0, 1), (1, 1)], trips)
+        assert expr.subs(dict(zip(trips, (10, 10)))) == 261
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            symbolic_reuse([(1,)], trip_symbols(2))
+
+
+class TestSymbolicDistinct:
+    def test_example2(self):
+        prog = parse_program(
+            "for i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j+2] } }"
+        )
+        expr, syms = symbolic_distinct_accesses(prog, "A")
+        assert expr.subs(dict(zip(syms, (10, 10)))) == 128
+
+    def test_single_ref_kernel(self):
+        prog = parse_program(
+            "for i = 1 to 20 { for j = 1 to 10 { A[2*i + 5*j + 1] } }"
+        )
+        expr, syms = symbolic_distinct_accesses(prog, "A")
+        assert expr.subs(dict(zip(syms, (20, 10)))) == 80
+
+    def test_injective_is_volume(self):
+        prog = parse_program("for i = 1 to 6 { for j = 1 to 7 { A[i][j] = 1 } }")
+        expr, syms = symbolic_distinct_accesses(prog, "A")
+        assert sympy.simplify(expr - syms[0] * syms[1]) == 0
+
+    def test_rejects_nonuniform(self):
+        prog = parse_program(
+            "for i = 1 to 5 { for j = 1 to 5 { A[3*i + 7*j] = A[4*i - 3*j] } }"
+        )
+        with pytest.raises(ValueError):
+            symbolic_distinct_accesses(prog, "A")
+
+    def test_rejects_multiref_kernel(self):
+        prog = parse_program(
+            "for i = 1 to 5 { for j = 1 to 5 { X[2*i + 5*j] = X[2*i + 5*j + 4] } }"
+        )
+        with pytest.raises(ValueError):
+            symbolic_distinct_accesses(prog, "X")
+
+    @given(st.integers(-3, 3), st.integers(-3, 3), st.integers(4, 12), st.integers(4, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_substitution_matches_numeric(self, di, dj, n1, n2):
+        if (di, dj) == (0, 0):
+            di = 1
+        ident = [[1, 0], [0, 1]]
+        prog = (
+            NestBuilder()
+            .loop("i", 1, n1)
+            .loop("j", 1, n2)
+            .statement("S1", write=("A", ident, [0, 0]))
+            .statement("S2", write=("B", ident, [0, 0]), reads=[("A", ident, [di, dj])])
+            .build()
+        )
+        expr, syms = symbolic_distinct_accesses(prog, "A")
+        numeric = estimate_distinct_accesses(prog, "A")
+        assert expr.subs(dict(zip(syms, (n1, n2)))) == numeric.upper
+
+
+class TestMaxProblemSize:
+    def test_inverse_question(self):
+        prog = parse_program(
+            "for i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j+2] } }"
+        )
+        expr, syms = symbolic_distinct_accesses(prog, "A")
+        best = max_problem_size(expr, syms, capacity=10_000)
+        n = sympy.Symbol("n")
+        value_at = lambda k: int(expr.subs({s: k for s in syms}))
+        assert value_at(best) <= 10_000 < value_at(best + 1)
+
+    def test_too_small_capacity(self):
+        prog = parse_program(
+            "for i = 1 to 4 { for j = 1 to 4 { A[i][j] = A[i-1][j] } }"
+        )
+        expr, syms = symbolic_distinct_accesses(prog, "A")
+        assert max_problem_size(expr, syms, capacity=0) is None
+
+
+class TestSymbolicMws:
+    @given(st.integers(1, 4), st.integers(-4, 4), st.integers(0, 3), st.integers(-3, 3))
+    @settings(max_examples=80, deadline=None)
+    def test_2d_matches_numeric(self, alpha1, alpha2, a, b):
+        if (a, b) == (0, 0):
+            a = 1
+        expr, syms = symbolic_mws_2d(alpha1, alpha2, a, b)
+        for n1, n2 in ((10, 10), (25, 10), (7, 19)):
+            symbolic = expr.subs(dict(zip(syms, (n1, n2))))
+            numeric = mws_2d_estimate(alpha1, alpha2, n1, n2, a, b)
+            assert sympy.Rational(str(numeric)) == sympy.nsimplify(symbolic)
+
+    def test_3d_matches_numeric(self):
+        expr, syms = symbolic_mws_3d((1, 3, -3))
+        assert expr.subs(dict(zip(syms, (10, 20, 30)))) == mws_3d_estimate(
+            (1, 3, -3), (10, 20, 30)
+        )
+
+    def test_3d_negative_branch(self):
+        expr, syms = symbolic_mws_3d((2, -1, 4))
+        assert expr.subs(dict(zip(syms, (5, 6, 7)))) == mws_3d_estimate(
+            (2, -1, 4), (5, 6, 7)
+        )
+
+    def test_scaling_exponent_drops_after_embedding(self):
+        # Before: MWS linear in N2 and N3; after the Section 4.3 embedding
+        # the reuse vector becomes (0, 0, 1) and the window is constant.
+        before, syms = symbolic_mws_3d((1, 3, -3))
+        after, _ = symbolic_mws_3d((0, 0, 1))
+        assert scaling_exponent(before, syms[1]) == 1
+        assert scaling_exponent(after, syms[1]) == 0
+
+    def test_singular_row_rejected(self):
+        with pytest.raises(ValueError):
+            symbolic_mws_2d(2, 5, 0, 0)
+
+    def test_aligned_row_constant(self):
+        expr, _ = symbolic_mws_2d(2, -3, 2, -3)
+        assert expr == 1
