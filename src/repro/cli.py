@@ -11,6 +11,12 @@
     python -m repro viz loop.txt            # reuse region / window profile art
     python -m repro figure2 [--kernel sor]  # regenerate the paper's table
 
+Global flags (before the subcommand):
+
+    --workers N        parallelize candidate evaluation over N processes
+    --trace out.jsonl  record an observability trace; prints a span
+                       summary on exit (see docs/observability.md)
+
 The input format is the small C-like syntax of :mod:`repro.ir.parser`
 (see examples/ and README).
 """
@@ -21,6 +27,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.core import analyze_program, optimize_program
 from repro.ir import generate_transformed_source, parse_program
 from repro.ir.parser import ParseError
@@ -57,7 +64,7 @@ def _cmd_dependences(args: argparse.Namespace) -> int:
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     program = _load(args.file)
-    result = optimize_program(program)
+    result = optimize_program(program, workers=args.workers)
     print(f"MWS before : {result.mws_before}")
     print(f"MWS after  : {result.mws_after}")
     print(f"reduction  : {100 * result.reduction:.1f}%")
@@ -73,7 +80,9 @@ def _cmd_size(args: argparse.Namespace) -> int:
     program = _load(args.file)
     transformation = None
     if args.optimized:
-        transformation = optimize_program(program).transformation
+        transformation = optimize_program(
+            program, workers=args.workers
+        ).transformation
     report = size_memory_for_program(program, transformation)
     print(f"declared            : {report.declared_words} words")
     print(f"maximum window size : {report.mws_words} words")
@@ -97,9 +106,13 @@ def _cmd_buffer(args: argparse.Namespace) -> int:
     if args.optimized:
         depth = program.nest.depth
         if depth == 2:
-            transformation = search_mws_2d(program, array).transformation
+            transformation = search_mws_2d(
+                program, array, workers=args.workers
+            ).transformation
         elif depth == 3:
-            transformation = search_mws_3d(program, array).transformation
+            transformation = search_mws_3d(
+                program, array, workers=args.workers
+            ).transformation
     alloc = allocate_window(program, array, transformation)
     print(f"array {array}: declared={alloc.declared} MWS={alloc.mws} "
           f"modulus={alloc.modulus} (overhead {100 * alloc.overhead:.0f}%)")
@@ -148,7 +161,7 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
         specs = [kernel_by_name(args.kernel)]
     else:
         specs = list(KERNELS)
-    rows = [figure2_row(spec) for spec in specs]
+    rows = [figure2_row(spec, workers=args.workers) for spec in specs]
     print(render_table(rows))
     return 0
 
@@ -157,6 +170,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Memory-requirement analysis of nested loops (DAC 2001 reproduction)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="evaluate search candidates on N worker processes (0 = serial)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.jsonl",
+        help="record a JSONL observability trace and print a span summary",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -204,11 +229,22 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.trace:
+        obs.enable(trace=args.trace)
     try:
         return args.func(args)
     except (ParseError, FileNotFoundError, KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if args.trace:
+            from repro.reporting import render_span_summary
+
+            observer = obs.disable()
+            if observer is not None:
+                print(file=sys.stderr)
+                print(f"trace written to {args.trace}", file=sys.stderr)
+                print(render_span_summary(observer.summary()), file=sys.stderr)
 
 
 if __name__ == "__main__":

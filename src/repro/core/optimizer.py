@@ -14,11 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.ir.program import Program
 from repro.linalg import IntMatrix
 from repro.transform.elementary import signed_permutations
 from repro.transform.legality import is_legal, ordering_distances
-from repro.window.simulator import max_total_window
 
 
 @dataclass(frozen=True)
@@ -51,7 +51,9 @@ def _program_ordering_distances(program: Program) -> list[tuple[int, ...]]:
     return list(out)
 
 
-def candidate_transformations(program: Program) -> list[IntMatrix]:
+def candidate_transformations(
+    program: Program, workers: int = 0
+) -> list[IntMatrix]:
     """Legal candidate transformations for program-level optimization.
 
     Four sources: the identity; all signed permutations (interchange and
@@ -82,7 +84,7 @@ def candidate_transformations(program: Program) -> list[IntMatrix]:
             if not program.is_uniformly_generated(array):
                 continue
             try:
-                result = search(program, array)
+                result = search(program, array, workers=workers)
             except (ValueError, KeyError):
                 continue
             if is_legal(result.transformation, distances):
@@ -121,25 +123,36 @@ def _access_embeddings(
     return out
 
 
-def optimize_program(program: Program) -> OptimizationResult:
+def optimize_program(program: Program, workers: int = 0) -> OptimizationResult:
     """Choose the legal transformation minimizing total MWS.
 
     Exact scoring via the window simulator; the identity is always a
-    candidate, so the result never regresses.
+    candidate, so the result never regresses.  ``workers > 1``
+    parallelizes both the per-array searches and the program-level
+    candidate scoring; results are identical to serial mode (candidates
+    are scored in the same deterministic order with strict-improvement
+    tie-breaking either way).
     """
-    before = max_total_window(program)
-    best_t = IntMatrix.identity(program.nest.depth)
-    best_value = before
-    candidates = candidate_transformations(program)
-    for t in candidates:
-        value = max_total_window(program, t)
-        if value < best_value:
-            best_value = value
-            best_t = t
-    return OptimizationResult(
-        program=program.name,
-        transformation=best_t,
-        mws_before=before,
-        mws_after=best_value,
-        candidates_tried=len(candidates),
-    )
+    from repro.transform.search import evaluate_exact
+
+    with obs.span("optimize", program=program.name, workers=workers):
+        with obs.span("candidates"):
+            candidates = candidate_transformations(program, workers=workers)
+        obs.counter("optimize.candidates", len(candidates))
+        scores = evaluate_exact(
+            program, [None] + candidates, array=None, workers=workers
+        )
+        before = scores[0]
+        best_t = IntMatrix.identity(program.nest.depth)
+        best_value = before
+        for t, value in zip(candidates, scores[1:]):
+            if value < best_value:
+                best_value = value
+                best_t = t
+        return OptimizationResult(
+            program=program.name,
+            transformation=best_t,
+            mws_before=before,
+            mws_after=best_value,
+            candidates_tried=len(candidates),
+        )

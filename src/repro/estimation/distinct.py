@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.dependence.analysis import self_reuse_distance
 from repro.dependence.reuse import group_reuse_distances
 from repro.ir.loop import LoopNest
@@ -149,6 +150,7 @@ def distinct_accesses_single_ref(
     )
 
 
+@obs.profiled("estimate.distinct")
 def estimate_distinct_accesses(
     program: Program, array: str
 ) -> DistinctAccessEstimate:

@@ -8,15 +8,18 @@ memory requirements (Section 5).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.ir.program import Program
 from repro.polyhedral.counting import count_image_exact
 
 
+@obs.profiled("estimate.exact_distinct")
 def exact_distinct_accesses(program: Program, array: str) -> int:
     """The true ``A_d`` for one array: enumerate and count."""
     refs = program.refs_to(array)
     if not refs:
         raise KeyError(array)
+    obs.counter("estimate.exact_distinct.calls")
     return count_image_exact(program.nest, refs)
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import weakref
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -161,6 +163,38 @@ class Program:
         return sum(d.declared_size for d in self.decls)
 
     # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def signature(self) -> str:
+        """Content hash of everything that determines the access stream.
+
+        Two programs with equal signatures touch the same elements in the
+        same order regardless of their names or statement labels, so
+        memoized analysis results (e.g. exact window simulations) can be
+        shared between them.  Cached per instance in a module-level
+        :class:`weakref.WeakKeyDictionary` so it survives the program
+        becoming frozen/slotted and never outlives the object.
+        """
+        cached = _SIGNATURE_CACHE.get(self)
+        if cached is not None:
+            return cached
+        content = (
+            tuple(self.nest.lowers),
+            tuple(self.nest.uppers),
+            tuple(
+                (ref.array, ref.access.rows, tuple(ref.offset), ref.is_write)
+                for ref in self.references
+            ),
+            tuple(
+                (d.name, d.extents, d.origins)
+                for d in sorted(self._explicit_decls.values(), key=lambda d: d.name)
+            ),
+        )
+        digest = hashlib.sha256(repr(content).encode()).hexdigest()
+        _SIGNATURE_CACHE[self] = digest
+        return digest
+
+    # ------------------------------------------------------------------
     # dynamic access stream
     # ------------------------------------------------------------------
     def access_events(self, array: str | None = None) -> Iterator[AccessEvent]:
@@ -191,3 +225,10 @@ class Program:
         for stmt in self.statements:
             lines.append(pad + str(stmt))
         return "\n".join(lines)
+
+
+#: Program -> content hash; keyed weakly so cached signatures (and every
+#: downstream cache keyed on them) never pin a Program alive.
+_SIGNATURE_CACHE: "weakref.WeakKeyDictionary[Program, str]" = (
+    weakref.WeakKeyDictionary()
+)

@@ -1,0 +1,30 @@
+"""Lightweight observability: spans, counters, JSONL traces.
+
+See :mod:`repro.obs.core` for the model and docs/observability.md for a
+walkthrough.  Import as ``from repro import obs`` and call ``obs.span``,
+``obs.counter``, ``obs.profiled`` — all no-ops until ``obs.enable()``.
+"""
+
+from repro.obs.core import (
+    Observer,
+    SpanStat,
+    counter,
+    disable,
+    enable,
+    enabled,
+    get_observer,
+    profiled,
+    span,
+)
+
+__all__ = [
+    "Observer",
+    "SpanStat",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "get_observer",
+    "profiled",
+    "span",
+]

@@ -7,6 +7,11 @@ from repro.reporting.tables import (
     render_table,
 )
 from repro.reporting.export import figure2_csv, figure2_markdown
+from repro.reporting.spans import (
+    SpanRow,
+    render_span_summary,
+    span_summary_rows,
+)
 
 __all__ = [
     "Figure2Row",
@@ -15,4 +20,7 @@ __all__ = [
     "render_table",
     "figure2_markdown",
     "figure2_csv",
+    "SpanRow",
+    "render_span_summary",
+    "span_summary_rows",
 ]

@@ -1,0 +1,88 @@
+"""Span-summary rendering for :mod:`repro.obs` traces.
+
+Turns an observer summary (``obs.disable().summary()`` or a parsed
+``summary`` event from a JSONL trace) into the profile table the CLI
+prints after a ``--trace`` run: one row per span path, indented by
+hierarchy, sorted so parents precede children, plus a counters section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class SpanRow:
+    """One line of the span-summary table."""
+
+    path: str
+    count: int
+    total_s: float
+    mean_s: float
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def depth(self) -> int:
+        return self.path.count("/")
+
+
+def span_summary_rows(summary: Mapping[str, Any]) -> list[SpanRow]:
+    """Flatten a summary's span aggregates into display rows.
+
+    Rows come out in path order, which interleaves each parent with its
+    children — the natural tree layout for the indented table.
+    """
+    rows = []
+    for path, stat in sorted(summary.get("spans", {}).items()):
+        rows.append(
+            SpanRow(
+                path=path,
+                count=int(stat["count"]),
+                total_s=float(stat["total_s"]),
+                mean_s=float(stat["mean_s"]),
+            )
+        )
+    return rows
+
+
+def render_span_summary(summary: Mapping[str, Any]) -> str:
+    """Profile table: spans (hierarchical) then counters.
+
+    >>> print(render_span_summary({
+    ...     "spans": {"a": {"count": 2, "total_s": 1.0, "mean_s": 0.5}},
+    ...     "counters": {"hits": 3},
+    ... }))
+    span                                     count   total(s)    mean(ms)
+    ---------------------------------------------------------------------
+    a                                            2   1.000000     500.000
+    <BLANKLINE>
+    counter                                       value
+    ---------------------------------------------------
+    hits                                              3
+    """
+    lines = []
+    rows = span_summary_rows(summary)
+    if rows:
+        header = f"{'span':<40} {'count':>5} {'total(s)':>10} {'mean(ms)':>11}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in rows:
+            label = "  " * row.depth + row.name
+            lines.append(
+                f"{label:<40} {row.count:>5} {row.total_s:>10.6f} "
+                f"{row.mean_s * 1e3:>11.3f}"
+            )
+    counters = summary.get("counters", {})
+    if counters:
+        if lines:
+            lines.append("")
+        header = f"{'counter':<40} {'value':>10}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, value in sorted(counters.items()):
+            lines.append(f"{name:<40} {value:>10}")
+    return "\n".join(lines) if lines else "(no spans or counters recorded)"

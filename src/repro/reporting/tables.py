@@ -35,10 +35,10 @@ class Figure2Row:
         return 100.0 * (1.0 - self.mws_opt / self.default)
 
 
-def figure2_row(spec: KernelSpec) -> Figure2Row:
+def figure2_row(spec: KernelSpec, workers: int = 0) -> Figure2Row:
     """Run the pipeline on one kernel and produce its table row."""
     program = spec.build()
-    result = optimize_program(program)
+    result = optimize_program(program, workers=workers)
     return Figure2Row(
         name=spec.name,
         default=program.default_memory,
@@ -49,9 +49,11 @@ def figure2_row(spec: KernelSpec) -> Figure2Row:
     )
 
 
-def figure2_table(specs: Iterable[KernelSpec]) -> list[Figure2Row]:
+def figure2_table(
+    specs: Iterable[KernelSpec], workers: int = 0
+) -> list[Figure2Row]:
     """Measured rows for a collection of kernels."""
-    return [figure2_row(spec) for spec in specs]
+    return [figure2_row(spec, workers=workers) for spec in specs]
 
 
 def render_table(rows: Sequence[Figure2Row]) -> str:

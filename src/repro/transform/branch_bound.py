@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Sequence
 
+from repro import obs
 from repro.window.mws import mws_2d_estimate
 
 
@@ -100,6 +101,7 @@ def _box_may_be_feasible(
     return True
 
 
+@obs.profiled("search.branch_bound")
 def branch_and_bound_mws_2d(
     alpha1: int,
     alpha2: int,
@@ -163,9 +165,12 @@ def branch_and_bound_mws_2d(
             stack.append((a_lo, a_hi, mid + 1, b_hi))
     if best_row is None:
         raise ValueError("no feasible coprime row in the search box")
+    obs.counter("search.bb.nodes", nodes)
+    obs.counter("search.bb.evaluated", evaluated)
     return BBResult(best_row, best_value, nodes, evaluated)
 
 
+@obs.profiled("search.minimize_window_step")
 def minimize_window_step(
     alpha1: int,
     alpha2: int,

@@ -28,6 +28,11 @@ from repro.window.lifetime import (
     LifetimeStats,
     lifetime_stats,
 )
+from repro.window.zhao_malik import (
+    def_use_peak,
+    max_window_size_zhao_malik,
+    zhao_malik_report,
+)
 
 __all__ = [
     "WindowProfile",
@@ -41,4 +46,7 @@ __all__ = [
     "mws_3d_for_ref",
     "LifetimeStats",
     "lifetime_stats",
+    "def_use_peak",
+    "max_window_size_zhao_malik",
+    "zhao_malik_report",
 ]

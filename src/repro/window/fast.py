@@ -9,21 +9,47 @@ over ~10^5-iteration nests) tractable.
 
 from __future__ import annotations
 
+import math
+import weakref
+
 import numpy as np
 
+from repro import obs
 from repro.ir.program import Program
 from repro.linalg import IntMatrix
+
+#: Dense enumeration materializes an ``(N, n)`` int64 matrix and packs
+#: element coordinates into int64 ids; both silently wrap past 2**63.
+#: Guard well below that — a nest this large should go to the symbolic
+#: estimators, not the simulator.
+_INT64_LIMIT = 2**62
+
+#: Program -> iteration matrix.  Module-level and weakly keyed (rather
+#: than an attribute stashed on the Program) so it works if Program ever
+#: becomes frozen/slotted, stays out of pickles shipped to worker
+#: processes, and dies with the program object.
+_ITER_MATRIX_CACHE: "weakref.WeakKeyDictionary[Program, np.ndarray]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def _iteration_matrix(program: Program) -> np.ndarray:
     """All iteration vectors as an ``(N, n)`` int64 array (cached)."""
-    cache = getattr(program, "_iter_matrix_cache", None)
-    if cache is not None:
-        return cache
+    cached = _ITER_MATRIX_CACHE.get(program)
+    if cached is not None:
+        obs.counter("fast.iter_matrix.hits")
+        return cached
+    obs.counter("fast.iter_matrix.misses")
     lowers = np.array(program.nest.lowers, dtype=np.int64)
     trips = np.array(program.nest.trip_counts, dtype=np.int64)
     n = program.nest.depth
-    total = int(np.prod(trips))
+    # math.prod over Python ints cannot wrap, unlike np.prod over int64.
+    total = math.prod(int(t) for t in trips)
+    if total >= _INT64_LIMIT:
+        raise ValueError(
+            f"nest has {total} iterations; dense enumeration would "
+            f"overflow int64 indexing (limit {_INT64_LIMIT})"
+        )
     points = np.empty((total, n), dtype=np.int64)
     repeat = total
     tile = 1
@@ -32,8 +58,13 @@ def _iteration_matrix(program: Program) -> np.ndarray:
         axis = np.repeat(np.arange(trips[k], dtype=np.int64) + lowers[k], repeat)
         points[:, k] = np.tile(axis, tile)
         tile *= int(trips[k])
-    program._iter_matrix_cache = points
+    _ITER_MATRIX_CACHE[program] = points
     return points
+
+
+def clear_iteration_cache() -> None:
+    """Drop all cached iteration matrices (tests, memory pressure)."""
+    _ITER_MATRIX_CACHE.clear()
 
 
 def _execution_times(
@@ -66,7 +97,6 @@ def _element_ids(program: Program, array: str) -> list[np.ndarray]:
     if not refs:
         raise KeyError(array)
     points = _iteration_matrix(program)
-    decl = program.decl(array)
     per_ref = []
     for ref in refs:
         a = np.array(ref.access.to_lists(), dtype=np.int64)
@@ -78,6 +108,11 @@ def _element_ids(program: Program, array: str) -> list[np.ndarray]:
     mins = stacked.min(axis=0)
     maxs = stacked.max(axis=0)
     spans = (maxs - mins + 1).astype(np.int64)
+    if math.prod(int(s) for s in spans) >= _INT64_LIMIT:
+        raise ValueError(
+            f"array {array}: touched bounding box {spans.tolist()} too "
+            f"large for int64 element packing"
+        )
     ids = []
     for elems in per_ref:
         shifted = elems - mins
@@ -88,6 +123,7 @@ def _element_ids(program: Program, array: str) -> list[np.ndarray]:
     return ids
 
 
+@obs.profiled("fast.window_deltas")
 def window_deltas(
     program: Program,
     array: str,
@@ -119,9 +155,11 @@ def max_window_size_fast(
     transformation: IntMatrix | None = None,
 ) -> int:
     """Vectorized exact MWS for one array."""
-    deltas = window_deltas(program, array, transformation)
-    sizes = np.cumsum(deltas[:-1])
-    return int(sizes.max(initial=0))
+    obs.counter("fast.simulate.calls")
+    with obs.span("simulate", array=array):
+        deltas = window_deltas(program, array, transformation)
+        sizes = np.cumsum(deltas[:-1])
+        return int(sizes.max(initial=0))
 
 
 def max_total_window_fast(
@@ -130,13 +168,15 @@ def max_total_window_fast(
     arrays=None,
 ) -> int:
     """Vectorized exact total MWS (``max_t sum_X |W_X(t)|``)."""
-    names = tuple(arrays) if arrays is not None else program.arrays
-    total = program.nest.total_iterations
-    deltas = np.zeros(total + 1, dtype=np.int64)
-    for array in names:
-        deltas += window_deltas(program, array, transformation)
-    sizes = np.cumsum(deltas[:-1])
-    return int(sizes.max(initial=0))
+    obs.counter("fast.simulate.calls")
+    with obs.span("simulate", array="*"):
+        names = tuple(arrays) if arrays is not None else program.arrays
+        total = program.nest.total_iterations
+        deltas = np.zeros(total + 1, dtype=np.int64)
+        for array in names:
+            deltas += window_deltas(program, array, transformation)
+        sizes = np.cumsum(deltas[:-1])
+        return int(sizes.max(initial=0))
 
 
 def window_profile_fast(

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
+from repro import obs
 from repro.dependence.analysis import self_reuse_distance
 from repro.ir.loop import LoopNest
 from repro.ir.program import Program
@@ -54,6 +55,7 @@ def mws_2d_estimate(
     """
     if a == 0 and b == 0:
         raise ValueError("transformation row (0, 0) is singular")
+    obs.counter("estimate.eq2.calls")
     window_step = abs(alpha2 * a - alpha1 * b)
     if window_step == 0:
         # The outer loop is aligned with the access function: all
@@ -69,6 +71,7 @@ def mws_2d_estimate(
     return maxspan * window_step
 
 
+@obs.profiled("estimate.mws_2d_for_array")
 def mws_2d_for_array(
     program: Program, array: str, transformation: IntMatrix | None = None
 ) -> Fraction:
@@ -117,6 +120,7 @@ def mws_3d_estimate(reuse_vector: tuple[int, int, int], trips: tuple[int, int, i
     return d1 * inner + abs(d2) * max(0, n3 - abs(d3)) + 1
 
 
+@obs.profiled("estimate.mws_3d_for_ref")
 def mws_3d_for_ref(ref: ArrayRef, nest: LoopNest) -> int:
     """Section 4.3 estimate for a single reference in a 3-deep nest."""
     if ref.nest_depth != 3:

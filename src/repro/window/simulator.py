@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.ir.program import Program
 from repro.linalg import IntMatrix
 
@@ -64,6 +65,7 @@ def _iteration_order(
     return points
 
 
+@obs.profiled("simulator.element_lifetimes")
 def element_lifetimes(
     program: Program,
     array: str,
@@ -129,6 +131,7 @@ def max_window_size_reference(
     >>> max_window_size_reference(p, "X")
     44
     """
+    obs.counter("simulator.reference.calls")
     lifetimes = element_lifetimes(program, array, transformation)
     return _peak_live(lifetimes.values())
 

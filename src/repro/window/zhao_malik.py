@@ -89,6 +89,65 @@ def def_use_peak(
     return peak
 
 
+def max_window_size_zhao_malik(
+    program: Program,
+    array: str,
+    transformation: IntMatrix | None = None,
+) -> int:
+    """Third, independent MWS computation for differential testing.
+
+    Uses the paper's *window* semantics (an element is live from its
+    first access to just before its last — inputs are **not** live from
+    program start, unlike :func:`def_use_peak`) but a different
+    algorithm from both :mod:`repro.window.simulator` (event-dict sweep)
+    and :mod:`repro.window.fast` (vectorized scatter): the classic
+    two-pointer merge over independently sorted interval starts and
+    ends.  Windows are half-open ``[first, last)``.
+
+    >>> from repro.ir import parse_program
+    >>> p = parse_program('''
+    ... for i = 1 to 25 {
+    ...   for j = 1 to 10 {
+    ...     X[2*i + 5*j + 1] = X[2*i + 5*j + 5]
+    ...   }
+    ... }
+    ... ''')
+    >>> max_window_size_zhao_malik(p, "X")
+    44
+    """
+    refs = [ref for ref in program.references if ref.array == array]
+    if not refs:
+        raise KeyError(array)
+    order = _iteration_order(program, transformation)
+    iterator = order if order is not None else program.nest.iterate()
+    first_seen: dict[tuple[int, ...], int] = {}
+    last_seen: dict[tuple[int, ...], int] = {}
+    for time, point in enumerate(iterator):
+        for ref in refs:
+            element = ref.element(point)
+            if element not in first_seen:
+                first_seen[element] = time
+            last_seen[element] = time
+    starts = sorted(
+        first_seen[e] for e in first_seen if last_seen[e] > first_seen[e]
+    )
+    ends = sorted(
+        last_seen[e] for e in first_seen if last_seen[e] > first_seen[e]
+    )
+    peak = current = 0
+    i = j = 0
+    while i < len(starts):
+        if starts[i] < ends[j]:
+            current += 1
+            if current > peak:
+                peak = current
+            i += 1
+        else:
+            current -= 1
+            j += 1
+    return peak
+
+
 def zhao_malik_report(
     program: Program,
     transformation: IntMatrix | None = None,

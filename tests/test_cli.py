@@ -119,3 +119,46 @@ class TestCliExtensions:
         out = capsys.readouterr().out
         assert "window of X over time" in out
         assert "#" in out
+
+
+class TestCliObservability:
+    def test_trace_writes_jsonl_and_prints_summary(self, loop_file, tmp_path, capsys):
+        import json
+
+        from repro.transform.search import clear_exact_cache
+
+        clear_exact_cache()  # a warm cache would skip the simulate spans
+        trace = tmp_path / "trace.jsonl"
+        assert main(["--trace", str(trace), "optimize", loop_file]) == 0
+        captured = capsys.readouterr()
+        assert "MWS before" in captured.out
+        assert "trace written to" in captured.err
+        assert "span" in captured.err and "counter" in captured.err
+        events = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert events[0]["ev"] == "meta"
+        span_paths = {e["path"] for e in events if e["ev"] == "span"}
+        assert any("optimize" in p for p in span_paths)
+        assert any(p.endswith("simulate") for p in span_paths)
+        assert events[-1]["ev"] == "summary"
+
+    def test_trace_disabled_after_run(self, loop_file, tmp_path):
+        from repro import obs
+
+        trace = tmp_path / "t.jsonl"
+        main(["--trace", str(trace), "analyze", loop_file])
+        assert not obs.enabled()
+
+    def test_workers_flag_matches_serial(self, loop_file, capsys):
+        from repro.transform.search import clear_exact_cache
+
+        clear_exact_cache()
+        assert main(["optimize", loop_file]) == 0
+        serial = capsys.readouterr().out
+        clear_exact_cache()
+        assert main(["--workers", "2", "optimize", loop_file]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_figure2_accepts_workers(self, capsys):
+        assert main(["--workers", "2", "figure2", "--kernel", "matmult"]) == 0
+        assert "matmult" in capsys.readouterr().out

@@ -9,9 +9,11 @@ from repro.ir import parse_program
 from repro.ir.generate import GeneratorConfig, random_program
 from repro.linalg import IntMatrix
 from repro.window.fast import (
+    _ITER_MATRIX_CACHE,
     _element_ids,
     _execution_times,
     _iteration_matrix,
+    clear_iteration_cache,
     window_deltas,
 )
 
@@ -28,6 +30,40 @@ class TestIterationMatrix:
     def test_cached(self):
         prog = parse_program("for i = 1 to 4 { A[i] = 1 }")
         assert _iteration_matrix(prog) is _iteration_matrix(prog)
+
+    def test_cache_lives_off_the_program(self):
+        """The matrix is cached in a module-level WeakKeyDictionary, not
+        stashed as a Program attribute — so it works for frozen/slotted
+        programs and stays out of pickles."""
+        import pickle
+
+        prog = parse_program("for i = 1 to 4 { A[i] = 1 }")
+        _iteration_matrix(prog)
+        assert "_iter_matrix_cache" not in vars(prog)
+        assert prog in _ITER_MATRIX_CACHE
+        clone = pickle.loads(pickle.dumps(prog))
+        assert clone not in _ITER_MATRIX_CACHE
+
+    def test_cache_entry_dies_with_program(self):
+        import gc
+
+        clear_iteration_cache()
+        prog = parse_program("for i = 1 to 4 { A[i] = 1 }")
+        _iteration_matrix(prog)
+        assert len(_ITER_MATRIX_CACHE) == 1
+        del prog
+        gc.collect()
+        assert len(_ITER_MATRIX_CACHE) == 0
+
+    def test_overflow_guard_rejects_huge_nests(self):
+        """math.prod over Python ints detects what int64 np.prod would
+        silently wrap: a nest too large to enumerate densely."""
+        prog = parse_program(
+            "for i = 1 to 3000000000 { for j = 1 to 3000000000 { "
+            "for k = 1 to 3000000000 { A[i] = 1 } } }"
+        )
+        with pytest.raises(ValueError, match="overflow|iterations"):
+            _iteration_matrix(prog)
 
     @given(st.integers(0, 20_000))
     @settings(max_examples=25, deadline=None)

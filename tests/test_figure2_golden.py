@@ -1,0 +1,76 @@
+"""Golden regression pin for the Figure-2 table (ISSUE 1).
+
+The shape tests in ``benchmarks/bench_figure2_table.py`` compare against
+the paper's percentages with tolerance bands; this test pins the exact
+measured numbers — per-kernel default size, MWS unoptimized, MWS
+optimized — to committed fixture values, so a search-engine refactor
+(parallelism, memoization, candidate reordering) cannot silently change
+the reproduced paper results.
+
+If an *intentional* algorithm improvement changes a value, regenerate
+the fixture:
+
+    PYTHONPATH=src python tests/test_figure2_golden.py --regen
+
+and justify the diff in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.kernels import KERNELS
+from repro.reporting import figure2_row
+
+FIXTURE = Path(__file__).parent / "fixtures" / "figure2_golden.json"
+
+
+def _golden() -> dict:
+    return json.loads(FIXTURE.read_text())
+
+
+def _measure() -> dict:
+    return {
+        spec.name: {
+            "default": (row := figure2_row(spec)).default,
+            "mws_unopt": row.mws_unopt,
+            "mws_opt": row.mws_opt,
+        }
+        for spec in KERNELS
+    }
+
+
+def test_fixture_covers_all_kernels():
+    assert sorted(_golden()) == sorted(spec.name for spec in KERNELS)
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in KERNELS])
+def test_figure2_values_pinned(name):
+    spec = next(s for s in KERNELS if s.name == name)
+    row = figure2_row(spec)
+    golden = _golden()[name]
+    measured = {
+        "default": row.default,
+        "mws_unopt": row.mws_unopt,
+        "mws_opt": row.mws_opt,
+    }
+    assert measured == golden, (
+        f"{name}: measured {measured} != golden {golden} — if this change "
+        f"is intentional, regenerate tests/fixtures/figure2_golden.json "
+        f"(see module docstring) and explain the delta in the PR"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        FIXTURE.write_text(
+            json.dumps(_measure(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {FIXTURE}")
+    else:
+        print(json.dumps(_measure(), indent=2, sort_keys=True))

@@ -1,0 +1,271 @@
+"""Unit tests for the repro.obs observability layer."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled():
+    """Every test starts and ends with instrumentation off."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 0.5):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestEnableDisable:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.get_observer() is None
+
+    def test_enable_then_disable_round_trip(self):
+        observer = obs.enable()
+        assert obs.enabled()
+        assert obs.disable() is observer
+        assert not obs.enabled()
+
+    def test_disable_idempotent(self):
+        assert obs.disable() is None
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_noop(self):
+        assert obs.span("a") is obs.span("b")
+
+    def test_span_aggregation(self):
+        observer = obs.enable(clock=FakeClock(step=1.0))
+        for _ in range(3):
+            with obs.span("work"):
+                pass
+        stats = observer.span_stats["work"]
+        assert stats.count == 3
+        assert stats.total_s == pytest.approx(3.0)
+        assert stats.mean_s == pytest.approx(1.0)
+
+    def test_nested_spans_form_paths(self):
+        observer = obs.enable(clock=FakeClock())
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        assert set(observer.span_stats) == {"outer", "outer/inner"}
+
+    def test_sibling_spans_share_parent_path(self):
+        observer = obs.enable(clock=FakeClock())
+        with obs.span("root"):
+            with obs.span("a"):
+                pass
+            with obs.span("a"):
+                pass
+        assert observer.span_stats["root/a"].count == 2
+
+    def test_span_survives_exceptions(self):
+        observer = obs.enable(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with obs.span("boom"):
+                raise RuntimeError("x")
+        assert observer.span_stats["boom"].count == 1
+        # The stack unwound: a following span is top-level, not nested.
+        with obs.span("after"):
+            pass
+        assert "after" in observer.span_stats
+
+
+class TestCounters:
+    def test_counter_noop_when_disabled(self):
+        obs.counter("ignored")
+        observer = obs.enable()
+        assert "ignored" not in observer.counters
+
+    def test_counter_accumulates(self):
+        observer = obs.enable()
+        obs.counter("hits")
+        obs.counter("hits", 4)
+        assert observer.counters["hits"] == 5
+
+
+class TestProfiled:
+    def test_passthrough_when_disabled(self):
+        @obs.profiled
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+
+    def test_records_span_when_enabled(self):
+        @obs.profiled("custom.label")
+        def work():
+            return 42
+
+        observer = obs.enable(clock=FakeClock())
+        assert work() == 42
+        assert observer.span_stats["custom.label"].count == 1
+
+    def test_bare_decorator_uses_qualname(self):
+        @obs.profiled
+        def helper():
+            return 1
+
+        observer = obs.enable(clock=FakeClock())
+        helper()
+        (path,) = observer.span_stats
+        assert "helper" in path
+
+    def test_wrapped_attribute_preserved(self):
+        @obs.profiled
+        def documented():
+            """docstring"""
+
+        assert documented.__doc__ == "docstring"
+        assert documented.__wrapped__() is None
+
+
+class TestJsonlTrace:
+    def _run_traced(self) -> list[dict]:
+        sink = io.StringIO()
+        obs.enable(trace=sink, clock=FakeClock(step=0.001))
+        with obs.span("outer", kernels=2):
+            with obs.span("inner"):
+                pass
+        obs.counter("cache.hits", 7)
+        obs.disable()
+        return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+    def test_event_stream_structure(self):
+        events = self._run_traced()
+        kinds = [e["ev"] for e in events]
+        assert kinds == ["meta", "span", "span", "counter", "summary"]
+        # Inner span completes (and is logged) before its parent.
+        assert events[1]["name"] == "inner"
+        assert events[1]["path"] == "outer/inner"
+        assert events[1]["depth"] == 1
+        assert events[2]["name"] == "outer"
+        assert events[2]["attrs"] == {"kernels": 2}
+        assert events[3] == {
+            "seq": 3,
+            "ev": "counter",
+            "name": "cache.hits",
+            "value": 7,
+        }
+
+    def test_sequence_numbers_monotonic(self):
+        events = self._run_traced()
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_deterministic_with_fake_clock(self):
+        assert self._run_traced() == self._run_traced()
+
+    def test_summary_event_matches_summary(self):
+        sink = io.StringIO()
+        obs.enable(trace=sink, clock=FakeClock())
+        with obs.span("s"):
+            pass
+        observer = obs.disable()
+        last = json.loads(sink.getvalue().splitlines()[-1])
+        assert last["ev"] == "summary"
+        assert last["data"] == observer.summary()
+
+    def test_trace_to_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace=str(path), clock=FakeClock())
+        with obs.span("s"):
+            pass
+        obs.disable()
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == {"seq": 0, "ev": "meta", "version": 1}
+        assert any(json.loads(l)["ev"] == "span" for l in lines)
+
+
+class TestSummaryRendering:
+    def test_render_span_summary_table(self):
+        from repro.reporting import render_span_summary
+
+        obs.enable(clock=FakeClock(step=0.25))
+        with obs.span("search"):
+            with obs.span("simulate"):
+                pass
+        obs.counter("cache.hits", 3)
+        observer = obs.disable()
+        table = render_span_summary(observer.summary())
+        assert "search" in table
+        assert "  simulate" in table  # child indented under parent
+        assert "cache.hits" in table
+
+    def test_render_empty_summary(self):
+        from repro.reporting import render_span_summary
+
+        assert "no spans" in render_span_summary({"spans": {}, "counters": {}})
+
+    def test_span_summary_rows_sorted_by_path(self):
+        from repro.reporting import span_summary_rows
+
+        rows = span_summary_rows(
+            {
+                "spans": {
+                    "b": {"count": 1, "total_s": 1.0, "mean_s": 1.0},
+                    "a/c": {"count": 2, "total_s": 2.0, "mean_s": 1.0},
+                    "a": {"count": 1, "total_s": 3.0, "mean_s": 3.0},
+                }
+            }
+        )
+        assert [r.path for r in rows] == ["a", "a/c", "b"]
+        assert rows[1].depth == 1 and rows[1].name == "c"
+
+
+class TestPipelineIntegration:
+    def test_search_emits_spans_and_counters(self):
+        """The acceptance-criterion stages — estimate, simulate, and
+        candidate ranking — all appear in a traced search."""
+        from repro.ir import parse_program
+        from repro.transform.search import clear_exact_cache, search_mws_2d
+
+        clear_exact_cache()
+        sink = io.StringIO()
+        obs.enable(trace=sink)
+        program = parse_program(
+            "for i = 1 to 25 { for j = 1 to 10 { "
+            "X[2*i + 5*j + 1] = X[2*i + 5*j + 5] } }"
+        )
+        search_mws_2d(program, "X")
+        observer = obs.disable()
+        paths = set(observer.span_stats)
+        assert "search.2d" in paths
+        assert "search.2d/estimate" in paths
+        assert "search.2d/rank" in paths
+        assert any(path.endswith("/simulate") for path in paths)
+        assert observer.counters["search.cache.misses"] > 0
+        events = [json.loads(l) for l in sink.getvalue().splitlines()]
+        names = {e.get("name") for e in events if e["ev"] == "span"}
+        assert {"estimate", "rank", "simulate"} <= names
+
+    def test_optimize_program_traced(self):
+        from repro.core.optimizer import optimize_program
+        from repro.ir import parse_program
+        from repro.transform.search import clear_exact_cache
+
+        clear_exact_cache()
+        obs.enable()
+        program = parse_program(
+            "for i = 1 to 10 { for j = 1 to 10 { A[i][j] = A[i-1][j] } }"
+        )
+        optimize_program(program)
+        observer = obs.disable()
+        assert "optimize" in observer.span_stats
+        assert observer.counters["optimize.candidates"] > 0
