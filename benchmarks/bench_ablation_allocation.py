@@ -12,6 +12,8 @@ Quantifies two things DESIGN.md calls out:
    example and pays 30 vs. 22).
 """
 
+BENCH_NAME = "ablation_allocation"
+
 from fractions import Fraction
 
 import pytest

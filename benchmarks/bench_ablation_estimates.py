@@ -6,6 +6,8 @@ based closed forms are exact (uniform case) or tight (non-uniform) at a
 tiny fraction of enumeration cost.
 """
 
+BENCH_NAME = "ablation_estimates"
+
 import random
 
 from conftest import record

@@ -7,6 +7,8 @@ must be co-designed: the transformation that minimizes the element
 window maximizes the line window under the wrong layout.
 """
 
+BENCH_NAME = "ablation_layout"
+
 import pytest
 from conftest import record
 

@@ -11,6 +11,8 @@ Three design claims quantified:
    while being the thing that makes the Figure-2 search tractable.
 """
 
+BENCH_NAME = "ablation_memory"
+
 import pytest
 from conftest import record
 

@@ -6,6 +6,8 @@ compound matrix has an entry of magnitude 3, so bounds 1-2 miss it while
 bound 3 finds MWS 1; candidate counts grow quadratically.
 """
 
+BENCH_NAME = "ablation_search"
+
 import pytest
 from conftest import record
 

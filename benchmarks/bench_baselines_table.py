@@ -11,6 +11,8 @@ with the window on producer-consumer arrays while charging read-only
 inputs from time zero.
 """
 
+BENCH_NAME = "baselines_table"
+
 import pytest
 from conftest import record
 

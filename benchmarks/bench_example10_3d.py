@@ -6,6 +6,8 @@ giving 541 — the exact simulator arbitrates: 540); embedding the access
 matrix as the leading rows of T reduces the MWS to 1.
 """
 
+BENCH_NAME = "example10_3d"
+
 from conftest import record
 
 from repro.dependence import self_reuse_distance

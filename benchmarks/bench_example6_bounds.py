@@ -6,6 +6,8 @@ gives 182 (the paper's 181 appears to be an arithmetic slip; both sit
 inside the bounds).
 """
 
+BENCH_NAME = "example6_bounds"
+
 from conftest import record
 
 from repro.estimation import exact_distinct_accesses, nonuniform_bounds

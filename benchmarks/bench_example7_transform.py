@@ -7,6 +7,8 @@ measures 86 / 37 / 84 / 34 for the same orders (the Eisenbeis metric is a
 slight over-estimate) and confirms the compound transformation reaches 1.
 """
 
+BENCH_NAME = "example7_transform"
+
 import pytest
 from conftest import record
 

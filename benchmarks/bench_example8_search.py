@@ -7,6 +7,8 @@ MWS is 21.  Our exact simulator confirms: estimate 22, exact 21, and the
 original order measures 44 against the formula's 50.
 """
 
+BENCH_NAME = "example8_search"
+
 from conftest import record
 
 from repro.ir import parse_program

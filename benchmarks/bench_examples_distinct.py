@@ -6,6 +6,8 @@ A_d 1869.  The enumeration oracle is timed alongside to show the closed
 forms' speed advantage.
 """
 
+BENCH_NAME = "examples_distinct"
+
 from conftest import record
 
 from repro.estimation import (

@@ -8,6 +8,8 @@ count; the downsampler touches each input once (nothing to keep);
 matvec keeps the vector resident (window ~n).
 """
 
+BENCH_NAME = "extended_kernels"
+
 import pytest
 from conftest import record
 

@@ -6,6 +6,8 @@ Example 1(a) (2-D array, dependence between two references) and Example
 1(b) (1-D array, self reuse along the kernel) share that count.
 """
 
+BENCH_NAME = "figure1_reuse_area"
+
 from conftest import record
 
 from repro.dependence import array_distance_vectors, self_reuse_distance

@@ -8,6 +8,8 @@ percentages are asserted as shape constraints per kernel and the full
 measured-vs-paper comparison lives in EXPERIMENTS.md.
 """
 
+BENCH_NAME = "figure2"
+
 import time
 
 import pytest

@@ -8,6 +8,8 @@ provision it, simulate the traffic, and price both designs under the
 CACTI-style model.
 """
 
+BENCH_NAME = "motivation_energy"
+
 import pytest
 from conftest import record
 

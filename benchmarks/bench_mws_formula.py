@@ -5,6 +5,8 @@ Pins every instantiation the paper prints — identity on Example 8 gives
 exact simulator across transformations to quantify the estimate's band.
 """
 
+BENCH_NAME = "mws_formula"
+
 from fractions import Fraction
 
 import pytest

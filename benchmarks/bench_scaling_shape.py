@@ -8,6 +8,8 @@ percentages improve with size — the technique matters more, not less, at
 realistic image sizes.
 """
 
+BENCH_NAME = "scaling_shape"
+
 import pytest
 from conftest import record
 

@@ -6,6 +6,8 @@ memory is dominated by the intermediate frame crossing the nest
 boundary; legal fusion collapses it to a window.
 """
 
+BENCH_NAME = "sequence_fusion"
+
 import pytest
 from conftest import record
 

@@ -7,6 +7,8 @@ reuse is captured inside the tile) until the double buffer outgrows the
 SRAM budget — the provisioning trade `best_tile_for_budget` automates.
 """
 
+BENCH_NAME = "tiling_transfers"
+
 import pytest
 from conftest import record
 

@@ -142,6 +142,12 @@ def _cmd_viz(args: argparse.Namespace) -> int:
 
     program = _load(args.file)
     array = args.array or program.arrays[0]
+    if args.liveness:
+        from repro.viz import render_liveness_profile
+        from repro.window.fast import liveness_profile_fast
+
+        print(render_liveness_profile(liveness_profile_fast(program, array)))
+        return 0
     if program.nest.depth == 2:
         distances = reuse_distances(program, array) if program.is_uniformly_generated(array) else []
         if distances:
@@ -151,6 +157,55 @@ def _cmd_viz(args: argparse.Namespace) -> int:
     profile = window_profile(program, array)
     print(render_profile_bars(profile.sizes, title=f"window of {array} over time"))
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.reporting import render_candidate_table, render_reconciliation
+    from repro.transform import journal
+    from repro.transform.search import search_best_transformation
+
+    if Path(args.target).exists():
+        program = _load(args.target)
+    else:
+        from repro.kernels import kernel_by_name
+
+        program = kernel_by_name(args.target).build()
+    array = args.array or program.arrays[0]
+    observer = obs.get_observer()
+    own_observer = observer is None
+    if own_observer:
+        observer = obs.enable()
+    jr = journal.enable()
+    try:
+        result = search_best_transformation(
+            program, array, bound=args.bound, workers=args.workers
+        )
+    finally:
+        journal.disable()
+        if own_observer:
+            obs.disable()
+    counters = observer.summary().get("counters", {})
+    print(f"search for array {array} of {program.name} ({result.method}):")
+    print(f"best: T={result.transformation.rows} "
+          f"est={result.estimated_mws} exact={result.exact_mws}")
+    print()
+    print(render_candidate_table(jr))
+    print()
+    reconciliation, ok = render_reconciliation(jr, counters)
+    print(reconciliation)
+    return 0 if ok else 1
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.reporting import compare_artifacts, render_comparison
+
+    old = json.loads(Path(args.old).read_text())
+    new = json.loads(Path(args.new).read_text())
+    comparison = compare_artifacts(old, new, threshold=args.threshold)
+    print(render_comparison(comparison, verbose=args.verbose))
+    return 0 if comparison.ok else 1
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
@@ -217,7 +272,38 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("viz", help="reuse region and window profile (ASCII)")
     p.add_argument("file")
     p.add_argument("--array", help="array name (default: first referenced)")
+    p.add_argument(
+        "--liveness",
+        action="store_true",
+        help="render the liveness profile (occupancy, peak, reuse distances)",
+    )
     p.set_defaults(func=_cmd_viz)
+
+    p = sub.add_parser(
+        "explain",
+        help="explain the search: ranked candidates, rejections, prunes",
+    )
+    p.add_argument("target", help="kernel name (e.g. sor) or loop-nest file")
+    p.add_argument("--array", help="array name (default: first referenced)")
+    p.add_argument("--bound", type=int, default=6, help="candidate entry bound")
+    p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "bench-compare",
+        help="diff two BENCH_<name>.json artifacts; exit 1 on regression",
+    )
+    p.add_argument("old", help="baseline artifact (BENCH_<name>.json)")
+    p.add_argument("new", help="candidate artifact to compare against it")
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative slack before a bad-direction change is a regression",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="also list unchanged metrics"
+    )
+    p.set_defaults(func=_cmd_bench_compare)
 
     p = sub.add_parser("figure2", help="regenerate the paper's results table")
     p.add_argument("--kernel", help="one kernel only (e.g. sor)")

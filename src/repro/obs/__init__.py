@@ -1,8 +1,11 @@
-"""Lightweight observability: spans, counters, JSONL traces.
+"""Lightweight observability: spans, counters, metrics, JSONL traces.
 
-See :mod:`repro.obs.core` for the model and docs/observability.md for a
-walkthrough.  Import as ``from repro import obs`` and call ``obs.span``,
-``obs.counter``, ``obs.profiled`` — all no-ops until ``obs.enable()``.
+See :mod:`repro.obs.core` for the span/counter model,
+:mod:`repro.obs.metrics` for gauges and fixed-bucket histograms, and
+:mod:`repro.obs.export` for the Prometheus / Chrome-tracing exporters
+(docs/observability.md has a walkthrough).  Import as ``from repro
+import obs`` and call ``obs.span``, ``obs.counter``, ``obs.gauge``,
+``obs.observe``, ``obs.profiled`` — all no-ops until ``obs.enable()``.
 """
 
 from repro.obs.core import (
@@ -16,6 +19,19 @@ from repro.obs.core import (
     profiled,
     span,
 )
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    gauge,
+    observe,
+    observe_many,
+)
+from repro.obs.export import (
+    chrome_trace,
+    load_trace,
+    prometheus_text,
+    write_chrome_trace,
+)
 
 __all__ = [
     "Observer",
@@ -27,4 +43,13 @@ __all__ = [
     "get_observer",
     "profiled",
     "span",
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "gauge",
+    "observe",
+    "observe_many",
+    "chrome_trace",
+    "load_trace",
+    "prometheus_text",
+    "write_chrome_trace",
 ]

@@ -33,10 +33,27 @@ Typical use::
 
 from __future__ import annotations
 
+import atexit
 import functools
 import json
 import time
-from typing import Any, Callable, TextIO
+from typing import Any, Callable, Sequence, TextIO
+
+from repro.obs import metrics as _metrics
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+
+
+def _json_default(value: Any) -> Any:
+    """Fallback serializer for span attrs: numpy scalars (``np.int64``
+    kernel sizes and friends) expose ``.item()``; anything else degrades
+    to ``str`` rather than crashing the trace."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
 
 
 class SpanStat:
@@ -81,10 +98,13 @@ class Observer:
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self._clock = clock
+        self._t0 = clock()
         self._seq = 0
         self._stack: list[tuple[str, float, dict[str, Any]]] = []
         self.span_stats: dict[str, SpanStat] = {}
         self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
         self._trace_path: str | None = None
         self._trace_file: TextIO | None = None
         self._owns_file = False
@@ -118,6 +138,7 @@ class Observer:
                 "name": name,
                 "path": path,
                 "depth": len(self._stack),
+                "ts_us": round((started - self._t0) * 1e6),
                 "dur_us": round(duration * 1e6),
             }
             if attrs:
@@ -128,29 +149,72 @@ class Observer:
         self.counters[name] = self.counters.get(name, 0) + amount
 
     # ------------------------------------------------------------------
+    # metrics (called by the repro.obs.metrics module-level helpers)
+    # ------------------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def get_histogram(
+        self, name: str, buckets: Sequence[float] | None = None
+    ) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(buckets or DEFAULT_BUCKETS)
+        return hist
+
+    def observe_histogram(
+        self,
+        name: str,
+        value: float,
+        n: int = 1,
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        self.get_histogram(name, buckets).observe(value, n)
+
+    # ------------------------------------------------------------------
     # output
     # ------------------------------------------------------------------
     def _emit(self, event: dict[str, Any]) -> None:
         event = {"seq": self._seq, **event}
         self._seq += 1
-        self._trace_file.write(json.dumps(event) + "\n")
+        self._trace_file.write(json.dumps(event, default=_json_default) + "\n")
 
     def summary(self) -> dict[str, Any]:
-        """Aggregated spans (by path) and counters, JSON-ready."""
-        return {
+        """Aggregated spans (by path), counters and metrics, JSON-ready.
+
+        The ``gauges``/``histograms`` sections appear only when something
+        was recorded, so pre-metrics traces and summaries keep their
+        shape.
+        """
+        out: dict[str, Any] = {
             "spans": {
                 path: stat.as_dict()
                 for path, stat in sorted(self.span_stats.items())
             },
             "counters": dict(sorted(self.counters.items())),
         }
+        if self.gauges:
+            out["gauges"] = dict(sorted(self.gauges.items()))
+        if self.histograms:
+            out["histograms"] = {
+                name: hist.as_dict()
+                for name, hist in sorted(self.histograms.items())
+            }
+        return out
 
     def flush(self) -> None:
-        """Write counter totals + summary to the trace and close it."""
+        """Write counter/gauge totals + summary to the trace and close it.
+
+        Idempotent: the first call drains and closes the trace, any later
+        call (a second explicit ``flush()``, the ``atexit`` safety net
+        after a clean ``disable()``) is a no-op.
+        """
         if self._trace_file is None:
             return
         for name, value in sorted(self.counters.items()):
             self._emit({"ev": "counter", "name": name, "value": value})
+        for name, value in sorted(self.gauges.items()):
+            self._emit({"ev": "gauge", "name": name, "value": value})
         self._emit({"ev": "summary", "data": self.summary()})
         self._trace_file.flush()
         if self._owns_file:
@@ -163,24 +227,45 @@ class Observer:
 # ----------------------------------------------------------------------
 _observer: Observer | None = None
 
+_atexit_registered = False
+
+
+def _set_observer(observer: Observer | None) -> None:
+    """Swap the active observer, keeping the metrics-module mirror in
+    sync so its entry points stay single-global-load no-ops too."""
+    global _observer
+    _observer = observer
+    _metrics._observer = observer
+
+
+def _flush_at_exit() -> None:
+    """``atexit`` safety net: a trace must not be left truncated because
+    the user forgot ``obs.disable()``.  Flushing an already-flushed
+    observer is a no-op, so a clean shutdown pays nothing."""
+    observer = _observer
+    if observer is not None:
+        observer.flush()
+
 
 def enable(
     trace: str | TextIO | None = None,
     clock: Callable[[], float] = time.perf_counter,
 ) -> Observer:
     """Turn instrumentation on (replacing any active observer)."""
-    global _observer
+    global _atexit_registered
     if _observer is not None:
         _observer.flush()
-    _observer = Observer(trace, clock)
+    _set_observer(Observer(trace, clock))
+    if not _atexit_registered:
+        atexit.register(_flush_at_exit)
+        _atexit_registered = True
     return _observer
 
 
 def disable() -> Observer | None:
     """Turn instrumentation off; flush + return the finished observer."""
-    global _observer
     finished = _observer
-    _observer = None
+    _set_observer(None)
     if finished is not None:
         finished.flush()
     return finished
@@ -197,8 +282,17 @@ def get_observer() -> Observer | None:
 def _reset_in_child() -> None:
     """Drop inherited observer state after ``fork`` (worker processes must
     not write to the parent's trace file)."""
-    global _observer
-    _observer = None
+    _set_observer(None)
+
+
+def _init_worker(collect: bool) -> None:
+    """``ProcessPoolExecutor`` initializer: never inherit the parent's
+    observer (and its open trace file), but when the parent is observing
+    start a fresh in-memory observer so worker-side counters can be
+    shipped back and merged (see ``transform.search._eval_task``)."""
+    _reset_in_child()
+    if collect:
+        _set_observer(Observer())
 
 
 class _NullSpan:

@@ -1,0 +1,168 @@
+"""Exporters: Prometheus text exposition and Chrome tracing JSON.
+
+Two read-side bridges out of the observability layer:
+
+* :func:`prometheus_text` turns an observer summary (live, or the
+  ``summary`` event parsed back out of a JSONL trace) into the
+  Prometheus text exposition format — counters as ``_total`` counters,
+  gauges as gauges, histograms as cumulative ``_bucket{le=...}`` series,
+  span aggregates as ``summary``-style ``_count``/``_sum`` pairs keyed
+  by span path.
+
+* :func:`chrome_trace` converts the JSONL span log into the Chrome
+  ``chrome://tracing`` / Perfetto JSON format (phase-``X`` complete
+  events with microsecond ``ts``/``dur``), so a ``--trace`` run can be
+  inspected as a flame graph.  Span events are emitted at span *end*;
+  the ``ts_us`` field they carry is the span's start offset from
+  observer creation, which is exactly the Chrome ``ts``.
+
+Both are pure functions over plain dicts — no I/O unless you call the
+``write_*`` helpers — so they work on live observers and on archived
+traces alike.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs.core import Observer
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    """Metric-name charset per the Prometheus data model."""
+    return _NAME_RE.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _as_summary(source: Observer | Mapping[str, Any]) -> Mapping[str, Any]:
+    if isinstance(source, Observer):
+        return source.summary()
+    return source
+
+
+def prometheus_text(
+    source: Observer | Mapping[str, Any], prefix: str = "repro"
+) -> str:
+    """Render a summary in the Prometheus text exposition format.
+
+    >>> print(prometheus_text({"spans": {}, "counters": {"cache.hits": 3}}))
+    # TYPE repro_cache_hits_total counter
+    repro_cache_hits_total 3
+    <BLANKLINE>
+    """
+    summary = _as_summary(source)
+    lines: list[str] = []
+    for name, value in sorted(summary.get("counters", {}).items()):
+        metric = f"{prefix}_{_sanitize(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in sorted(summary.get("gauges", {}).items()):
+        metric = f"{prefix}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, hist in sorted(summary.get("histograms", {}).items()):
+        metric = f"{prefix}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        running = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            running += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(float(bound))}"}} {running}'
+            )
+        running += hist["counts"][len(hist["buckets"])]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {running}')
+        lines.append(f"{metric}_sum {_format_value(float(hist['sum']))}")
+        lines.append(f"{metric}_count {hist['count']}")
+    spans = summary.get("spans", {})
+    if spans:
+        metric = f"{prefix}_span_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        for path, stat in sorted(spans.items()):
+            label = f'{{path="{path}"}}'
+            lines.append(f"{metric}_count{label} {int(stat['count'])}")
+            lines.append(f"{metric}_sum{label} {_format_value(float(stat['total_s']))}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Chrome tracing
+# ----------------------------------------------------------------------
+
+
+def load_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file back into its event dicts."""
+    return [
+        json.loads(line)
+        for line in Path(path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+
+
+def chrome_trace(
+    events: Iterable[Mapping[str, Any]] | str | Path,
+) -> dict[str, Any]:
+    """Convert JSONL trace events into Chrome tracing JSON.
+
+    Accepts parsed event dicts or a path to a ``.jsonl`` trace.  Span
+    events become phase-``X`` (complete) events; counter totals become a
+    single phase-``C`` sample at the end of the timeline, so the counter
+    track shows the run's final values.
+    """
+    if isinstance(events, (str, Path)):
+        events = load_trace(events)
+    events = list(events)
+    trace_events: list[dict[str, Any]] = []
+    end_ts = 0
+    for event in events:
+        if event.get("ev") != "span":
+            continue
+        # Traces from before ts_us existed fall back to the sequence
+        # number, preserving event order if not true timing.
+        ts = event.get("ts_us", event.get("seq", 0))
+        dur = event.get("dur_us", 0)
+        end_ts = max(end_ts, ts + dur)
+        entry: dict[str, Any] = {
+            "name": event.get("name", "?"),
+            "cat": "span",
+            "ph": "X",
+            "ts": ts,
+            "dur": dur,
+            "pid": 0,
+            "tid": 0,
+            "args": {"path": event.get("path", "")},
+        }
+        attrs = event.get("attrs")
+        if attrs:
+            entry["args"].update(attrs)
+        trace_events.append(entry)
+    for event in events:
+        if event.get("ev") == "counter":
+            trace_events.append(
+                {
+                    "name": event["name"],
+                    "cat": "counter",
+                    "ph": "C",
+                    "ts": end_ts,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"value": event["value"]},
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(jsonl_path: str | Path, out_path: str | Path) -> Path:
+    """Convert a JSONL trace file into a ``chrome://tracing`` JSON file."""
+    out = Path(out_path)
+    out.write_text(json.dumps(chrome_trace(jsonl_path)), encoding="utf-8")
+    return out

@@ -1,0 +1,136 @@
+"""Metrics registry: gauges and fixed-bucket histograms.
+
+The semantic layer on top of :mod:`repro.obs.core`'s spans/counters: a
+*gauge* records the latest value of a quantity (peak window size, peak
+location), a *histogram* records a distribution over fixed buckets
+(per-iteration live-set occupancy, reuse distances).  Both follow the
+``span()`` discipline exactly:
+
+* **Near-zero overhead when disabled.**  This module keeps its own
+  mirror of the active observer (``_observer``, synced by
+  ``core.enable``/``core.disable``), so :func:`gauge` and
+  :func:`observe` reduce to one module-global load and a ``None`` check
+  on the disabled path — no allocation, no dict lookup.
+
+* **Fixed buckets, bounded memory.**  A histogram's buckets are chosen
+  at first observation and never grow; each observation is one bisect
+  plus two integer adds, and the whole histogram is
+  ``len(buckets) + 1`` counters regardless of how many values it sees.
+
+Storage lives on the :class:`~repro.obs.core.Observer` (``.gauges``,
+``.histograms``) and is folded into ``observer.summary()`` — which is
+also what the Prometheus exporter in :mod:`repro.obs.export` consumes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping, Sequence
+
+#: Power-of-two bucket upper bounds 1, 2, 4, ..., 65536 — a good default
+#: for iteration counts, window sizes, and reuse distances, which span
+#: several orders of magnitude on the Figure-2 kernels.
+DEFAULT_BUCKETS: tuple[int, ...] = tuple(2**k for k in range(17))
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per bucket plus count/sum.
+
+    ``buckets`` are inclusive upper bounds in strictly increasing order;
+    one implicit overflow bucket (``+Inf``) catches everything above the
+    last bound — the Prometheus ``le`` convention.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(bounds[k] >= bounds[k + 1] for k in range(len(bounds) - 1)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = +Inf overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float, n: int = 1) -> None:
+        """Record ``value`` ``n`` times (bulk weight for pre-counted data)."""
+        self.counts[bisect_left(self.buckets, value)] += n
+        self.count += n
+        self.sum += value * n
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[int]:
+        """Prometheus-style cumulative counts, ending with the total."""
+        out = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Histogram":
+        hist = cls(data["buckets"])
+        hist.counts = list(data["counts"])
+        hist.count = int(data["count"])
+        hist.sum = float(data["sum"])
+        return hist
+
+
+# ----------------------------------------------------------------------
+# module-level switch — mirrors core._observer, synced on enable/disable
+# so the disabled path here is also a single global load.
+# ----------------------------------------------------------------------
+_observer = None  # type: ignore[var-annotated]
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (no-op while disabled)."""
+    obs = _observer
+    if obs is not None:
+        obs.set_gauge(name, value)
+
+
+def observe(
+    name: str,
+    value: float,
+    n: int = 1,
+    buckets: Sequence[float] | None = None,
+) -> None:
+    """Record ``value`` into histogram ``name`` (no-op while disabled).
+
+    ``buckets`` fixes the bounds when the histogram is first created and
+    is ignored afterwards (fixed-bucket discipline).
+    """
+    obs = _observer
+    if obs is not None:
+        obs.observe_histogram(name, value, n, buckets)
+
+
+def observe_many(
+    name: str,
+    values: Iterable[float],
+    buckets: Sequence[float] | None = None,
+) -> None:
+    """Bulk-record ``values`` into histogram ``name`` (no-op while disabled)."""
+    obs = _observer
+    if obs is not None:
+        hist = obs.get_histogram(name, buckets)
+        hist.observe_many(values)

@@ -7,10 +7,27 @@ from repro.reporting.tables import (
     render_table,
 )
 from repro.reporting.export import figure2_csv, figure2_markdown
+from repro.reporting.journal import (
+    reconcile,
+    render_candidate_table,
+    render_reconciliation,
+)
+from repro.reporting.metrics import (
+    render_gauges,
+    render_histograms,
+    render_metrics,
+)
 from repro.reporting.spans import (
     SpanRow,
     render_span_summary,
     span_summary_rows,
+)
+from repro.reporting.telemetry import (
+    Comparison,
+    MetricDelta,
+    compare_artifacts,
+    metric_direction,
+    render_comparison,
 )
 
 __all__ = [
@@ -23,4 +40,15 @@ __all__ = [
     "SpanRow",
     "render_span_summary",
     "span_summary_rows",
+    "render_gauges",
+    "render_histograms",
+    "render_metrics",
+    "reconcile",
+    "render_candidate_table",
+    "render_reconciliation",
+    "Comparison",
+    "MetricDelta",
+    "compare_artifacts",
+    "metric_direction",
+    "render_comparison",
 ]

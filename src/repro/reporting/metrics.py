@@ -1,0 +1,66 @@
+"""Gauge and histogram tables for :mod:`repro.obs` summaries.
+
+Companion to :mod:`repro.reporting.spans`: renders the ``gauges`` and
+``histograms`` sections an observer summary carries once metrics were
+recorded (liveness profiles, search statistics).  Both renderers return
+the empty string when their section is absent, so callers can append
+unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+def render_gauges(summary: Mapping[str, Any]) -> str:
+    """Two-column table of gauge names and their latest values.
+
+    >>> print(render_gauges({"gauges": {"liveness.A.peak": 34}}))
+    gauge                                         value
+    ---------------------------------------------------
+    liveness.A.peak                                  34
+    """
+    gauges = summary.get("gauges", {})
+    if not gauges:
+        return ""
+    header = f"{'gauge':<40} {'value':>10}"
+    lines = [header, "-" * len(header)]
+    for name, value in sorted(gauges.items()):
+        if isinstance(value, float) and not value.is_integer():
+            rendered = f"{value:.3f}"
+        else:
+            rendered = f"{int(value)}" if isinstance(value, float) else f"{value}"
+        lines.append(f"{name:<40} {rendered:>10}")
+    return "\n".join(lines)
+
+
+def render_histograms(summary: Mapping[str, Any]) -> str:
+    """Count/sum/mean table, one row per recorded histogram.
+
+    >>> print(render_histograms({"histograms": {
+    ...     "liveness.A.reuse_distance": {
+    ...         "buckets": [1, 2], "counts": [3, 1, 0], "count": 4, "sum": 6,
+    ...     },
+    ... }}))
+    histogram                                count        sum       mean
+    --------------------------------------------------------------------
+    liveness.A.reuse_distance                    4          6      1.500
+    """
+    histograms = summary.get("histograms", {})
+    if not histograms:
+        return ""
+    header = f"{'histogram':<40} {'count':>5} {'sum':>10} {'mean':>10}"
+    lines = [header, "-" * len(header)]
+    for name, hist in sorted(histograms.items()):
+        count = int(hist["count"])
+        total = hist["sum"]
+        mean = total / count if count else 0.0
+        total_s = f"{total:.3f}" if isinstance(total, float) and not total.is_integer() else f"{int(total)}"
+        lines.append(f"{name:<40} {count:>5} {total_s:>10} {mean:>10.3f}")
+    return "\n".join(lines)
+
+
+def render_metrics(summary: Mapping[str, Any]) -> str:
+    """Gauges table then histograms table; empty string if neither present."""
+    sections = [s for s in (render_gauges(summary), render_histograms(summary)) if s]
+    return "\n\n".join(sections)

@@ -85,4 +85,11 @@ def render_span_summary(summary: Mapping[str, Any]) -> str:
         lines.append("-" * len(header))
         for name, value in sorted(counters.items()):
             lines.append(f"{name:<40} {value:>10}")
+    from repro.reporting.metrics import render_metrics
+
+    metrics = render_metrics(summary)
+    if metrics:
+        if lines:
+            lines.append("")
+        lines.append(metrics)
     return "\n".join(lines) if lines else "(no spans or counters recorded)"

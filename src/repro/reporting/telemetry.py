@@ -1,0 +1,140 @@
+"""Bench-artifact comparison (``repro bench-compare``).
+
+Diffs the ``metrics`` sections of two ``BENCH_<name>.json`` artifacts
+(see benchmarks/telemetry.py for the writer).  Direction is inferred
+from the metric name — reductions, speedups and hit counts are
+higher-is-better, everything else (MWS words, wall seconds, memory)
+lower-is-better — and a change is a regression when it moves in the bad
+direction by more than the relative threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+#: Substrings marking a metric where bigger numbers are good.
+HIGHER_IS_BETTER_MARKERS = ("reduction", "speedup", "hits")
+
+
+def metric_direction(key: str) -> int:
+    """+1 when higher is better for this metric, -1 when lower is."""
+    lowered = key.lower()
+    if any(marker in lowered for marker in HIGHER_IS_BETTER_MARKERS):
+        return 1
+    return -1
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's change between two artifacts."""
+
+    key: str
+    old: float
+    new: float
+    direction: int  # +1 higher-is-better, -1 lower-is-better
+    regressed: bool
+
+    @property
+    def rel_change(self) -> float:
+        """Relative change, positive = grew; infinite when old == 0."""
+        if self.old == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        return (self.new - self.old) / abs(self.old)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Full diff of two artifacts' metrics."""
+
+    bench: str
+    deltas: tuple[MetricDelta, ...]
+    missing: tuple[str, ...]  # in old but not new
+    added: tuple[str, ...]  # in new but not old
+    threshold: float
+
+    @property
+    def regressions(self) -> tuple[MetricDelta, ...]:
+        return tuple(d for d in self.deltas if d.regressed)
+
+    @property
+    def ok(self) -> bool:
+        """No regressions and no metric disappeared."""
+        return not self.regressions and not self.missing
+
+
+def _numeric_metrics(artifact: Mapping[str, Any]) -> dict[str, float]:
+    out = {}
+    for key, value in artifact.get("metrics", {}).items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[key] = float(value)
+    return out
+
+
+def compare_artifacts(
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+    threshold: float = 0.05,
+) -> Comparison:
+    """Diff two artifacts' numeric metrics.
+
+    ``threshold`` is the relative slack before a bad-direction move
+    counts as a regression (0.05 = 5%).
+    """
+    old_metrics = _numeric_metrics(old)
+    new_metrics = _numeric_metrics(new)
+    deltas = []
+    for key in sorted(old_metrics.keys() & new_metrics.keys()):
+        before, after = old_metrics[key], new_metrics[key]
+        direction = metric_direction(key)
+        if before == 0:
+            worse = (after < 0) if direction > 0 else (after > 0)
+            regressed = worse and abs(after) > threshold
+        else:
+            rel = (after - before) / abs(before)
+            regressed = (-direction * rel) > threshold
+        deltas.append(MetricDelta(key, before, after, direction, regressed))
+    return Comparison(
+        bench=str(new.get("bench", old.get("bench", "?"))),
+        deltas=tuple(deltas),
+        missing=tuple(sorted(old_metrics.keys() - new_metrics.keys())),
+        added=tuple(sorted(new_metrics.keys() - old_metrics.keys())),
+        threshold=threshold,
+    )
+
+
+def render_comparison(comparison: Comparison, verbose: bool = False) -> str:
+    """Human-readable diff; regressions always shown, the rest gated on
+    ``verbose``."""
+    lines = [
+        f"bench {comparison.bench}: {len(comparison.deltas)} shared metric(s), "
+        f"threshold {comparison.threshold:.0%}"
+    ]
+    shown = [
+        d for d in comparison.deltas if d.regressed or verbose or d.old != d.new
+    ]
+    if shown:
+        header = f"{'metric':<40} {'old':>12} {'new':>12} {'change':>9}  verdict"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for d in shown:
+            change = "n/a" if d.rel_change == float("inf") else f"{d.rel_change:+.1%}"
+            verdict = "REGRESSION" if d.regressed else "ok"
+            arrow = "higher=better" if d.direction > 0 else "lower=better"
+            lines.append(
+                f"{d.key:<40} {d.old:>12g} {d.new:>12g} {change:>9}  "
+                f"{verdict} ({arrow})"
+            )
+    else:
+        lines.append("no metric changes")
+    for key in comparison.missing:
+        lines.append(f"missing in new artifact: {key}  REGRESSION")
+    if verbose:
+        for key in comparison.added:
+            lines.append(f"new metric: {key}")
+    lines.append(
+        f"result: {'OK' if comparison.ok else 'REGRESSIONS DETECTED'}"
+    )
+    return "\n".join(lines)

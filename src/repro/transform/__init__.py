@@ -22,6 +22,8 @@ from repro.transform.completion import (
     complete_first_row_2d,
     complete_rows_legal,
 )
+from repro.transform import journal
+from repro.transform.journal import CandidateRecord, SearchJournal
 from repro.transform.search import (
     SearchResult,
     exhaustive_search,
@@ -64,6 +66,9 @@ __all__ = [
     "signed_permutations",
     "complete_first_row_2d",
     "complete_rows_legal",
+    "journal",
+    "CandidateRecord",
+    "SearchJournal",
     "SearchResult",
     "search_mws_2d",
     "search_mws_3d",

@@ -27,6 +27,7 @@ from fractions import Fraction
 from typing import Sequence
 
 from repro import obs
+from repro.transform import journal
 from repro.window.mws import mws_2d_estimate
 
 
@@ -124,6 +125,8 @@ def branch_and_bound_mws_2d(
     best_row: tuple[int, int] | None = None
     nodes = 0
     evaluated = 0
+    pruned = 0
+    jr = journal.active()
     # Rows and negated rows scan the same loop backwards; canonicalize to
     # a >= 0 as the search half-space.
     stack = [(0, bound, -bound, bound)]
@@ -134,10 +137,23 @@ def branch_and_bound_mws_2d(
             continue
         nodes += 1
         if not _box_may_be_feasible(box, distances):
+            pruned += 1
+            if jr is not None:
+                jr.record(
+                    "prune", box, "pruned",
+                    reason="infeasible: tiling constraints unsatisfiable over box",
+                )
             continue
         # Lower bound on the objective over this box: maxspan >= 1.
         step_bound = _window_step_lower_bound(alpha1, alpha2, box)
         if step_bound > 0 and best_value is not None and Fraction(step_bound) >= best_value:
+            pruned += 1
+            if jr is not None:
+                jr.record(
+                    "prune", box, "pruned",
+                    reason=f"bound: window-step lower bound {step_bound} "
+                           f">= incumbent {best_value}",
+                )
             continue
         if (a_hi - a_lo) <= 1 and (b_hi - b_lo) <= 1:
             for a in range(a_lo, a_hi + 1):
@@ -150,6 +166,8 @@ def branch_and_bound_mws_2d(
                         continue
                     evaluated += 1
                     value = mws_2d_estimate(alpha1, alpha2, n1, n2, a, b)
+                    if jr is not None:
+                        jr.record("bb", (a, b), "candidate", estimate=value)
                     if best_value is None or value < best_value:
                         best_value = value
                         best_row = (a, b)
@@ -167,6 +185,7 @@ def branch_and_bound_mws_2d(
         raise ValueError("no feasible coprime row in the search box")
     obs.counter("search.bb.nodes", nodes)
     obs.counter("search.bb.evaluated", evaluated)
+    obs.counter("search.bb.pruned", pruned)
     return BBResult(best_row, best_value, nodes, evaluated)
 
 

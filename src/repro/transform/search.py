@@ -39,6 +39,7 @@ from repro import obs
 from repro.dependence.distance import lex_level
 from repro.ir.program import Program
 from repro.linalg import IntMatrix
+from repro.transform import journal
 from repro.transform.completion import complete_first_row_2d, complete_rows_legal
 from repro.transform.elementary import (
     bounded_unimodular_matrices,
@@ -107,11 +108,24 @@ def _eval_one(program: Program, array: str | None, t: IntMatrix | None) -> int:
     return max_window_size(program, array, t)
 
 
-def _eval_task(payload) -> int:
-    """Worker-process entry point (must be module-level for pickling)."""
+def _eval_task(payload) -> tuple[int, dict[str, int]]:
+    """Worker-process entry point (must be module-level for pickling).
+
+    Returns the exact MWS together with the worker-side counter delta
+    for this task (the worker runs its own in-memory observer, started
+    by ``obs.core._init_worker``).  Counters are drained per task so a
+    worker reused for several tasks never double-reports; the parent
+    merges the deltas, making serial and parallel counter totals match.
+    """
     program, array, rows = payload
     t = None if rows is None else IntMatrix(rows)
-    return _eval_one(program, array, t)
+    value = _eval_one(program, array, t)
+    worker_obs = obs.get_observer()
+    if worker_obs is None:
+        return value, {}
+    delta = dict(worker_obs.counters)
+    worker_obs.counters.clear()
+    return value, delta
 
 
 def evaluate_exact(
@@ -131,6 +145,7 @@ def evaluate_exact(
     """
     workers = _resolve_workers(workers)
     sig = program.signature()
+    jr = journal.active()
     results: list[int | None] = [None] * len(candidates)
     misses: list[int] = []
     for idx, t in enumerate(candidates):
@@ -139,6 +154,8 @@ def evaluate_exact(
             misses.append(idx)
         else:
             results[idx] = hit
+            if jr is not None:
+                jr.record("evaluate", _t_key(t), "cache_hit", exact=hit)
     obs.counter("search.cache.hits", len(candidates) - len(misses))
     obs.counter("search.cache.misses", len(misses))
     if misses:
@@ -157,9 +174,16 @@ def evaluate_exact(
                 ]
                 chunk = max(1, len(misses) // (4 * workers))
                 with ProcessPoolExecutor(
-                    max_workers=workers, initializer=obs.core._reset_in_child
+                    max_workers=workers,
+                    initializer=obs.core._init_worker,
+                    initargs=(obs.enabled(),),
                 ) as pool:
-                    values = list(pool.map(_eval_task, payloads, chunksize=chunk))
+                    pairs = list(pool.map(_eval_task, payloads, chunksize=chunk))
+                values = []
+                for value, delta in pairs:
+                    values.append(value)
+                    for counter_name, amount in delta.items():
+                        obs.counter(counter_name, amount)
             else:
                 values = [
                     _eval_one(program, array, candidates[idx]) for idx in misses
@@ -167,6 +191,10 @@ def evaluate_exact(
         for idx, value in zip(misses, values):
             results[idx] = value
             _EXACT_CACHE[(sig, array, _t_key(candidates[idx]))] = value
+            if jr is not None:
+                jr.record(
+                    "evaluate", _t_key(candidates[idx]), "computed", exact=value
+                )
     return results  # type: ignore[return-value]
 
 
@@ -228,15 +256,31 @@ def search_mws_2d(
         use_eq2 = ref.rank == 1
         alpha = ref.access.row(0) if use_eq2 else None
         n1, n2 = program.nest.trip_counts
+        jr = journal.active()
         with obs.span("estimate"):
             for a, b in _coprime_rows(bound):
                 examined += 1
                 if any(a * d1 + b * d2 < 0 for d1, d2 in window_dists):
+                    if jr is not None:
+                        jr.record(
+                            "enumerate", ((a, b),), "rejected",
+                            reason="tiling: a*d1 + b*d2 < 0 for a reuse distance",
+                        )
                     continue
                 t = complete_first_row_2d(a, b, window_dists)
                 if t is None:
+                    if jr is not None:
+                        jr.record(
+                            "enumerate", ((a, b),), "rejected",
+                            reason="completion: no tileable unimodular completion",
+                        )
                     continue
                 if not is_legal(t, order_dists):
+                    if jr is not None:
+                        jr.record(
+                            "enumerate", t.rows, "rejected",
+                            reason="legality: reverses a lex-positive dependence",
+                        )
                     continue
                 if use_eq2:
                     estimate = mws_2d_estimate(alpha[0], alpha[1], n1, n2, a, b)
@@ -248,6 +292,8 @@ def search_mws_2d(
                         sum(abs(a * d1 + b * d2) for d1, d2 in window_dists), 1
                     )
                 scored.append((estimate, t))
+                if jr is not None:
+                    jr.record("enumerate", t.rows, "candidate", estimate=estimate)
         obs.counter("search.candidates.examined", examined)
         if not scored:
             raise ValueError(f"no tileable transformation found for {array}")
@@ -296,6 +342,7 @@ def search_mws_3d(
 
         candidates: list[IntMatrix] = []
         examined = 0
+        jr = journal.active()
         # Access-matrix embedding (Example 10's construction).
         access = refs[0].access
         if access.n_rows < 3 and access.rank() == access.n_rows:
@@ -304,15 +351,29 @@ def search_mws_3d(
             )
             if embedded is not None and is_legal(embedded, order_dists):
                 candidates.append(embedded)
+                if jr is not None:
+                    jr.record("seed", embedded.rows, "candidate")
         # Bounded enumeration fallback/competitors.
         with obs.span("enumerate"):
             for t in bounded_unimodular_matrices(3, bound):
                 examined += 1
                 if not is_tileable(t, window_dists):
+                    if jr is not None:
+                        jr.record(
+                            "enumerate", t.rows, "rejected",
+                            reason="tiling: T d < 0 for a reuse distance",
+                        )
                     continue
                 if not is_legal(t, order_dists):
+                    if jr is not None:
+                        jr.record(
+                            "enumerate", t.rows, "rejected",
+                            reason="legality: reverses a lex-positive dependence",
+                        )
                     continue
                 candidates.append(t)
+                if jr is not None:
+                    jr.record("enumerate", t.rows, "candidate")
         obs.counter("search.candidates.examined", examined)
         if not candidates:
             raise ValueError(f"no legal transformation found for {array}")
@@ -360,6 +421,9 @@ def search_general(
         window_dists = reuse_distances(program, array)
         candidates: dict[IntMatrix, None] = {IntMatrix.identity(n): None}
         examined = 0
+        jr = journal.active()
+        if jr is not None:
+            jr.record("seed", IntMatrix.identity(n).rows, "candidate")
         for ref in refs:
             if ref.rank >= n or ref.access.rank() != ref.rank:
                 continue
@@ -367,11 +431,20 @@ def search_general(
             embedded = complete_rows_legal(rows, window_dists)
             if embedded is not None and is_legal(embedded, order_dists):
                 candidates.setdefault(embedded, None)
+                if jr is not None:
+                    jr.record("seed", embedded.rows, "candidate")
         for t in signed_permutations(n):
             examined += 1
             if not is_legal(t, order_dists):
+                if jr is not None:
+                    jr.record(
+                        "enumerate", t.rows, "rejected",
+                        reason="legality: reverses a lex-positive dependence",
+                    )
                 continue
             candidates.setdefault(t, None)
+            if jr is not None:
+                jr.record("enumerate", t.rows, "candidate")
         obs.counter("search.candidates.examined", examined)
         ordered = list(candidates)
         exacts = evaluate_exact(program, ordered, array=array, workers=workers)
@@ -419,14 +492,27 @@ def exhaustive_search(
         window_dists = reuse_distances(program, array)
         legal: list[IntMatrix] = []
         examined = 0
+        jr = journal.active()
         with obs.span("enumerate"):
             for t in bounded_unimodular_matrices(n, bound):
                 examined += 1
                 if tileable_only and not is_tileable(t, window_dists):
+                    if jr is not None:
+                        jr.record(
+                            "enumerate", t.rows, "rejected",
+                            reason="tiling: T d < 0 for a reuse distance",
+                        )
                     continue
                 if not is_legal(t, order_dists):
+                    if jr is not None:
+                        jr.record(
+                            "enumerate", t.rows, "rejected",
+                            reason="legality: reverses a lex-positive dependence",
+                        )
                     continue
                 legal.append(t)
+                if jr is not None:
+                    jr.record("enumerate", t.rows, "candidate")
         obs.counter("search.candidates.examined", examined)
         if not legal:
             raise ValueError(f"no legal transformation found for {array}")

@@ -6,13 +6,20 @@ profiles, and Graphviz DOT export of dependence graphs.
 """
 
 from repro.viz.iteration_space import render_iteration_space, render_reuse_region
-from repro.viz.profiles import render_profile_bars, sparkline
+from repro.viz.profiles import (
+    render_histogram,
+    render_liveness_profile,
+    render_profile_bars,
+    sparkline,
+)
 from repro.viz.graphs import dependence_graph_dot
 
 __all__ = [
     "render_iteration_space",
     "render_reuse_region",
     "sparkline",
+    "render_histogram",
+    "render_liveness_profile",
     "render_profile_bars",
     "dependence_graph_dot",
 ]

@@ -1,8 +1,8 @@
-"""Sparklines and bar renderings of window profiles."""
+"""Sparklines and bar renderings of window and liveness profiles."""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 _SPARK_CHARS = " .:-=+*#%@"
 
@@ -64,4 +64,57 @@ def render_profile_bars(
         label = f"{peak:>5} |" if level == height else "      |"
         lines.append(label + row)
     lines.append("    0 +" + "-" * len(values))
+    return "\n".join(lines)
+
+
+def render_histogram(
+    counts: Mapping[int, int],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart of a ``value -> count`` histogram.
+
+    >>> print(render_histogram({1: 4, 3: 2}, width=4))
+        1 |#### 4
+        3 |##   2
+    """
+    lines = [title] if title else []
+    if not counts:
+        lines.append("(empty histogram)")
+        return "\n".join(lines)
+    top = max(counts.values())
+    for value in sorted(counts):
+        count = counts[value]
+        bar = "#" * max(1, round(count / top * width)) if count else ""
+        lines.append(f"{value:>5} |{bar:<{width}} {count}")
+    return "\n".join(lines)
+
+
+def render_liveness_profile(profile, width: int = 60, height: int = 8) -> str:
+    """Full text rendering of a :class:`~repro.window.LivenessProfile`:
+    headline (peak + location), occupancy trajectory, reuse distances."""
+    at_point = (
+        f" = iteration {tuple(profile.peak_point)}"
+        if profile.peak_point is not None
+        else ""
+    )
+    lines = [
+        f"liveness of {profile.array}: peak {profile.peak} at "
+        f"t={profile.peak_time}{at_point}, "
+        f"mean occupancy {profile.mean_occupancy:.1f}",
+        render_profile_bars(
+            profile.occupancy,
+            height=height,
+            width=width,
+            title="occupancy over time:",
+        ),
+    ]
+    if profile.reuse_histogram:
+        lines.append(
+            render_histogram(
+                profile.reuse_histogram,
+                width=width // 2,
+                title="reuse distances (iteration gap -> count):",
+            )
+        )
     return "\n".join(lines)

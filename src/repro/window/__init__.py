@@ -12,10 +12,13 @@ unimodular re-ordering) and the paper's closed-form estimates for 2-D
 """
 
 from repro.window.simulator import (
+    LivenessProfile,
     WindowProfile,
     element_lifetimes,
+    liveness_profile,
     max_total_window,
     max_window_size,
+    record_liveness,
     window_profile,
 )
 from repro.window.mws import (
@@ -29,17 +32,22 @@ from repro.window.lifetime import (
     lifetime_stats,
 )
 from repro.window.zhao_malik import (
+    def_use_occupancy,
     def_use_peak,
     max_window_size_zhao_malik,
     zhao_malik_report,
 )
 
 __all__ = [
+    "LivenessProfile",
     "WindowProfile",
     "element_lifetimes",
+    "liveness_profile",
+    "record_liveness",
     "window_profile",
     "max_window_size",
     "max_total_window",
+    "def_use_occupancy",
     "mws_2d_estimate",
     "mws_2d_for_array",
     "mws_3d_estimate",

@@ -149,14 +149,80 @@ def window_deltas(
     return deltas
 
 
+def liveness_profile_fast(
+    program: Program,
+    array: str,
+    transformation: IntMatrix | None = None,
+):
+    """Vectorized liveness profile; semantics defined by
+    :func:`repro.window.simulator.liveness_profile` (the test suite pins
+    them equal on native and transformed orders)."""
+    from repro.window.simulator import LivenessProfile
+
+    times = _execution_times(program, transformation)
+    total = times.shape[0]
+    ids = _element_ids(program, array)
+    all_ids = np.concatenate(ids)
+    all_times = np.concatenate([times] * len(ids))
+    unique_ids, inverse = np.unique(all_ids, return_inverse=True)
+    n_elems = unique_ids.shape[0]
+    first = np.full(n_elems, total, dtype=np.int64)
+    last = np.full(n_elems, -1, dtype=np.int64)
+    np.minimum.at(first, inverse, all_times)
+    np.maximum.at(last, inverse, all_times)
+    live = last > first
+    deltas = np.zeros(total + 1, dtype=np.int64)
+    np.add.at(deltas, first[live], 1)
+    np.add.at(deltas, last[live], -1)
+    occupancy = np.cumsum(deltas[:-1])
+    peak = int(occupancy.max(initial=0))
+    peak_time = int(np.argmax(occupancy)) if total else -1
+    peak_point: tuple[int, ...] | None = None
+    if total:
+        points = _iteration_matrix(program)
+        native_row = int(np.nonzero(times == peak_time)[0][0])
+        peak_point = tuple(int(v) for v in points[native_row])
+    # Reuse distances: gaps between consecutive accesses to the same
+    # element.  Sort accesses by (element, time); equal-element adjacent
+    # pairs are exactly the consecutive accesses.
+    order = np.lexsort((all_times, inverse))
+    sorted_elems = inverse[order]
+    sorted_times = all_times[order]
+    same_elem = sorted_elems[1:] == sorted_elems[:-1]
+    gaps = (sorted_times[1:] - sorted_times[:-1])[same_elem]
+    values, counts = np.unique(gaps, return_counts=True)
+    reuse_histogram = {int(v): int(c) for v, c in zip(values, counts)}
+    return LivenessProfile(
+        array=array,
+        occupancy=tuple(int(v) for v in occupancy),
+        peak=peak,
+        peak_time=peak_time,
+        peak_point=peak_point,
+        reuse_histogram=reuse_histogram,
+    )
+
+
 def max_window_size_fast(
     program: Program,
     array: str,
     transformation: IntMatrix | None = None,
+    profile: bool = False,
 ) -> int:
-    """Vectorized exact MWS for one array."""
+    """Vectorized exact MWS for one array.
+
+    ``profile=True`` records the liveness profile (occupancy trajectory,
+    peak location, reuse-distance histogram) into the active observer's
+    metrics registry; while observability is disabled — or with the
+    default ``profile=False`` — the extra path costs one boolean check.
+    """
     obs.counter("fast.simulate.calls")
     with obs.span("simulate", array=array):
+        if profile and obs.enabled():
+            from repro.window.simulator import record_liveness
+
+            prof = liveness_profile_fast(program, array, transformation)
+            record_liveness(prof)
+            return prof.peak
         deltas = window_deltas(program, array, transformation)
         sizes = np.cumsum(deltas[:-1])
         return int(sizes.max(initial=0))
@@ -166,15 +232,24 @@ def max_total_window_fast(
     program: Program,
     transformation: IntMatrix | None = None,
     arrays=None,
+    profile: bool = False,
 ) -> int:
-    """Vectorized exact total MWS (``max_t sum_X |W_X(t)|``)."""
+    """Vectorized exact total MWS (``max_t sum_X |W_X(t)|``).
+
+    ``profile=True`` records one liveness profile per involved array.
+    """
     obs.counter("fast.simulate.calls")
     with obs.span("simulate", array="*"):
         names = tuple(arrays) if arrays is not None else program.arrays
         total = program.nest.total_iterations
         deltas = np.zeros(total + 1, dtype=np.int64)
+        do_profile = profile and obs.enabled()
+        if do_profile:
+            from repro.window.simulator import record_liveness
         for array in names:
             deltas += window_deltas(program, array, transformation)
+            if do_profile:
+                record_liveness(liveness_profile_fast(program, array, transformation))
         sizes = np.cumsum(deltas[:-1])
         return int(sizes.max(initial=0))
 

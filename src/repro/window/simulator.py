@@ -17,11 +17,12 @@ iterations and the MWS collapses to 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro import obs
 from repro.ir.program import Program
 from repro.linalg import IntMatrix
+from repro.obs import metrics
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,129 @@ def element_lifetimes(
     return lifetimes
 
 
+@dataclass(frozen=True)
+class LivenessProfile:
+    """Live-set trajectory of one array under one execution order.
+
+    The quantity the paper's MWS is the maximum of, made visible:
+    ``occupancy[t]`` is the window size after iteration ``t`` executes,
+    ``peak``/``peak_time``/``peak_point`` locate the maximum window in
+    execution time and in the iteration space, and ``reuse_histogram``
+    counts the gaps (in iterations of the chosen order) between
+    consecutive accesses to the same element — the reuse-distance
+    profile that related work (reuse-profile estimation, AutoLALA)
+    builds its locality analyses on.
+    """
+
+    array: str
+    occupancy: tuple[int, ...]
+    peak: int
+    peak_time: int  # first execution time achieving the peak; -1 if empty
+    peak_point: tuple[int, ...] | None  # iteration vector at peak_time
+    reuse_histogram: Mapping[int, int]  # access gap -> occurrence count
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.occupancy:
+            return 0.0
+        return sum(self.occupancy) / len(self.occupancy)
+
+    @property
+    def reuse_count(self) -> int:
+        return sum(self.reuse_histogram.values())
+
+
+def _access_times(
+    program: Program,
+    array: str,
+    transformation: IntMatrix | None,
+) -> dict[tuple[int, ...], list[int]]:
+    """Every access time of each touched element, in execution order."""
+    refs = [ref for ref in program.references if ref.array == array]
+    if not refs:
+        raise KeyError(array)
+    order = _iteration_order(program, transformation)
+    iterator = order if order is not None else program.nest.iterate()
+    times: dict[tuple[int, ...], list[int]] = {}
+    for time, point in enumerate(iterator):
+        for ref in refs:
+            times.setdefault(ref.element(point), []).append(time)
+    return times
+
+
+def liveness_profile(
+    program: Program,
+    array: str,
+    transformation: IntMatrix | None = None,
+) -> LivenessProfile:
+    """Exact liveness profile, pure-Python reference implementation.
+
+    Semantics ground truth for :func:`repro.window.fast.liveness_profile_fast`
+    (the test suite pins them equal).
+    """
+    times = _access_times(program, array, transformation)
+    total = program.nest.total_iterations
+    deltas = [0] * (total + 1)
+    reuse_histogram: dict[int, int] = {}
+    for ts in times.values():
+        first, last = ts[0], ts[-1]
+        if last > first:
+            deltas[first] += 1
+            deltas[last] -= 1
+        for earlier, later in zip(ts, ts[1:]):
+            gap = later - earlier
+            reuse_histogram[gap] = reuse_histogram.get(gap, 0) + 1
+    occupancy: list[int] = []
+    current = 0
+    for t in range(total):
+        current += deltas[t]
+        occupancy.append(current)
+    peak = max(occupancy, default=0)
+    peak_time = occupancy.index(peak) if occupancy else -1
+    peak_point = _point_at_time(program, transformation, peak_time)
+    return LivenessProfile(
+        array=array,
+        occupancy=tuple(occupancy),
+        peak=peak,
+        peak_time=peak_time,
+        peak_point=peak_point,
+        reuse_histogram=reuse_histogram,
+    )
+
+
+def _point_at_time(
+    program: Program,
+    transformation: IntMatrix | None,
+    time: int,
+) -> tuple[int, ...] | None:
+    """Iteration vector executing at position ``time`` of the order."""
+    if time < 0:
+        return None
+    order = _iteration_order(program, transformation)
+    if order is not None:
+        return order[time]
+    for position, point in enumerate(program.nest.iterate()):
+        if position == time:
+            return point
+    return None
+
+
+def record_liveness(profile: LivenessProfile, prefix: str = "liveness") -> None:
+    """Publish a profile into the active observer's metrics registry.
+
+    No-op while observability is disabled.  Gauges carry the peak and
+    its location; histograms carry the occupancy trajectory and the
+    reuse-distance distribution.
+    """
+    base = f"{prefix}.{profile.array}"
+    metrics.gauge(f"{base}.peak", profile.peak)
+    metrics.gauge(f"{base}.peak_time", profile.peak_time)
+    metrics.gauge(f"{base}.mean_occupancy", profile.mean_occupancy)
+    metrics.observe_many(f"{base}.occupancy", profile.occupancy)
+    for gap, count in sorted(profile.reuse_histogram.items()):
+        metrics.observe(f"{base}.reuse_distance", gap, n=count)
+
+
 def window_profile_reference(
     program: Program,
     array: str,
@@ -117,8 +241,13 @@ def max_window_size_reference(
     program: Program,
     array: str,
     transformation: IntMatrix | None = None,
+    profile: bool = False,
 ) -> int:
     """Exact MWS of one array under the given execution order.
+
+    ``profile=True`` additionally records the liveness profile (occupancy
+    trajectory, peak location, reuse-distance histogram) into the active
+    observer's metrics; it costs nothing unless observability is enabled.
 
     >>> from repro.ir import parse_program
     >>> p = parse_program('''
@@ -132,6 +261,10 @@ def max_window_size_reference(
     44
     """
     obs.counter("simulator.reference.calls")
+    if profile and obs.enabled():
+        prof = liveness_profile(program, array, transformation)
+        record_liveness(prof)
+        return prof.peak
     lifetimes = element_lifetimes(program, array, transformation)
     return _peak_live(lifetimes.values())
 
@@ -199,8 +332,12 @@ def max_window_size(
     program: Program,
     array: str,
     transformation: IntMatrix | None = None,
+    profile: bool = False,
 ) -> int:
     """Exact MWS of one array under the given execution order.
+
+    ``profile=True`` records the liveness profile into the active
+    observer's metrics (no-op while observability is disabled).
 
     >>> from repro.ir import parse_program
     >>> p = parse_program('''
@@ -215,20 +352,22 @@ def max_window_size(
     """
     from repro.window.fast import max_window_size_fast
 
-    return max_window_size_fast(program, array, transformation)
+    return max_window_size_fast(program, array, transformation, profile=profile)
 
 
 def max_total_window(
     program: Program,
     transformation: IntMatrix | None = None,
     arrays: Sequence[str] | None = None,
+    profile: bool = False,
 ) -> int:
     """Exact MWS summed over arrays: ``max_t sum_X |W_X(t)|``.
 
     This is the paper's multi-array window (Section 2.3) — the minimum
     on-chip data memory for the whole nest.  Note it is the max of the
-    sum, not the sum of per-array maxima.
+    sum, not the sum of per-array maxima.  ``profile=True`` records a
+    per-array liveness profile for every array involved.
     """
     from repro.window.fast import max_total_window_fast
 
-    return max_total_window_fast(program, transformation, arrays)
+    return max_total_window_fast(program, transformation, arrays, profile=profile)

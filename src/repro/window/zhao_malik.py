@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.ir.program import Program
 from repro.linalg import IntMatrix
 from repro.window.simulator import _iteration_order
@@ -71,6 +72,32 @@ def _def_use_intervals(
     return intervals
 
 
+def def_use_occupancy(
+    program: Program,
+    array: str,
+    transformation: IntMatrix | None = None,
+) -> tuple[int, ...]:
+    """Def-use-live value count at every iteration of the execution order.
+
+    The def-use analogue of the window occupancy trajectory: how many
+    values of ``array`` occupy storage after each iteration executes
+    (closed intervals — a value is counted through the iteration of its
+    last use).
+    """
+    intervals = _def_use_intervals(program, array, transformation)
+    total = program.nest.total_iterations
+    deltas = [0] * (total + 2)
+    for birth, death in intervals:
+        deltas[birth] += 1
+        deltas[death + 1] -= 1
+    occupancy = []
+    current = 0
+    for t in range(total):
+        current += deltas[t]
+        occupancy.append(current)
+    return tuple(occupancy)
+
+
 def def_use_peak(
     program: Program,
     array: str,
@@ -93,8 +120,15 @@ def max_window_size_zhao_malik(
     program: Program,
     array: str,
     transformation: IntMatrix | None = None,
+    profile: bool = False,
 ) -> int:
     """Third, independent MWS computation for differential testing.
+
+    ``profile=True`` records the window-occupancy trajectory computed by
+    this implementation into the active observer's metrics under the
+    ``liveness.zm.<array>`` prefix — a differential cross-check of the
+    occupancy the fast engine reports (no-op while observability is
+    disabled).
 
     Uses the paper's *window* semantics (an element is live from its
     first access to just before its last — inputs are **not** live from
@@ -145,6 +179,33 @@ def max_window_size_zhao_malik(
         else:
             current -= 1
             j += 1
+    if profile and obs.enabled():
+        from repro.window.simulator import LivenessProfile, record_liveness
+
+        total = program.nest.total_iterations
+        deltas = [0] * (total + 1)
+        for element, start in first_seen.items():
+            end = last_seen[element]
+            if end > start:
+                deltas[start] += 1
+                deltas[end] -= 1
+        occupancy = []
+        running = 0
+        for t in range(total):
+            running += deltas[t]
+            occupancy.append(running)
+        peak_time = occupancy.index(peak) if occupancy else -1
+        record_liveness(
+            LivenessProfile(
+                array=array,
+                occupancy=tuple(occupancy),
+                peak=peak,
+                peak_time=peak_time,
+                peak_point=None,
+                reuse_histogram={},
+            ),
+            prefix="liveness.zm",
+        )
     return peak
 
 

@@ -1,0 +1,365 @@
+"""Metrics registry, exporters, and observer trace-lifecycle guarantees.
+
+Covers the tentpole metrics layer (gauges, fixed-bucket histograms,
+Prometheus / Chrome-tracing exporters) plus the lifecycle satellites:
+numpy scalars in span attrs must not crash the JSONL writer, ``flush``
+must be idempotent, and the ``atexit`` safety net must complete a trace
+when ``obs.disable()`` is forgotten.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import core, metrics
+from repro.obs.core import Observer
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _events(buf: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class TestHistogram:
+    def test_default_buckets_are_powers_of_two(self):
+        assert DEFAULT_BUCKETS[0] == 1
+        assert DEFAULT_BUCKETS[-1] == 65536
+        assert all(b == 2**k for k, b in enumerate(DEFAULT_BUCKETS))
+
+    def test_observe_places_values_in_inclusive_upper_bounds(self):
+        hist = Histogram(buckets=(1, 2, 4))
+        for value in (1, 2, 3, 4, 5):
+            hist.observe(value)
+        # le=1 gets {1}, le=2 gets {2}, le=4 gets {3, 4}, +Inf gets {5}.
+        assert hist.counts == [1, 1, 2, 1]
+        assert hist.count == 5
+        assert hist.sum == 15.0
+
+    def test_bulk_weight(self):
+        hist = Histogram(buckets=(10,))
+        hist.observe(3, n=4)
+        assert hist.counts == [4, 0]
+        assert hist.count == 4
+        assert hist.sum == 12.0
+
+    def test_observe_many(self):
+        hist = Histogram(buckets=(1, 2))
+        hist.observe_many([1, 1, 2, 9])
+        assert hist.counts == [2, 1, 1]
+
+    def test_mean(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        hist.observe_many([2, 4])
+        assert hist.mean == 3.0
+
+    def test_cumulative_ends_with_total(self):
+        hist = Histogram(buckets=(1, 2, 4))
+        hist.observe_many([1, 3, 100])
+        assert hist.cumulative() == [1, 1, 2, 3]
+        assert hist.cumulative()[-1] == hist.count
+
+    def test_dict_round_trip(self):
+        hist = Histogram(buckets=(1, 4))
+        hist.observe_many([1, 2, 3, 99])
+        clone = Histogram.from_dict(hist.as_dict())
+        assert clone.as_dict() == hist.as_dict()
+        assert clone.buckets == hist.buckets
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_rejects_non_increasing_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1, 1, 2))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(4, 2))
+
+
+class TestModuleHelpers:
+    def test_disabled_calls_are_no_ops(self):
+        assert not obs.enabled()
+        obs.gauge("x", 1)
+        obs.observe("h", 2)
+        obs.observe_many("h", [1, 2])
+        observer = obs.enable()
+        assert observer.gauges == {}
+        assert observer.histograms == {}
+
+    def test_disabled_path_is_one_global_load(self, monkeypatch):
+        """While disabled the helpers must bail on the ``None`` check
+        before touching any Observer machinery: poison the Observer
+        methods and the disabled calls still succeed."""
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("observer touched while disabled")
+
+        monkeypatch.setattr(Observer, "set_gauge", boom)
+        monkeypatch.setattr(Observer, "observe_histogram", boom)
+        monkeypatch.setattr(Observer, "get_histogram", boom)
+        obs.gauge("x", 1)
+        obs.observe("h", 2)
+        obs.observe_many("h", [1, 2])
+        # The same calls while enabled do reach the observer.
+        obs.enable()
+        with pytest.raises(AssertionError):
+            obs.gauge("x", 1)
+
+    def test_mirror_stays_in_sync(self):
+        observer = obs.enable()
+        assert metrics._observer is observer
+        assert core._observer is observer
+        obs.disable()
+        assert metrics._observer is None
+        assert core._observer is None
+
+    def test_gauge_records_latest_value(self):
+        observer = obs.enable()
+        obs.gauge("liveness.A.peak", 44)
+        obs.gauge("liveness.A.peak", 64)
+        assert observer.gauges == {"liveness.A.peak": 64.0}
+
+    def test_observe_accumulates(self):
+        observer = obs.enable()
+        obs.observe("occupancy", 5)
+        obs.observe("occupancy", 3, n=2)
+        hist = observer.histograms["occupancy"]
+        assert hist.count == 3
+        assert hist.sum == 11.0
+        assert hist.buckets == DEFAULT_BUCKETS
+
+    def test_buckets_fixed_at_first_observation(self):
+        observer = obs.enable()
+        obs.observe("h", 1, buckets=(1, 2))
+        obs.observe("h", 50, buckets=(1, 2, 4, 8, 16, 32, 64))
+        assert observer.histograms["h"].buckets == (1, 2)
+
+    def test_summary_sections_appear_only_when_recorded(self):
+        observer = obs.enable()
+        summary = observer.summary()
+        assert "gauges" not in summary
+        assert "histograms" not in summary
+        obs.gauge("g", 1)
+        obs.observe("h", 2)
+        summary = observer.summary()
+        assert summary["gauges"] == {"g": 1.0}
+        assert summary["histograms"]["h"]["count"] == 1
+
+
+class TestPrometheusExport:
+    def test_counters_gauges_and_sanitized_names(self):
+        summary = {
+            "spans": {},
+            "counters": {"search.cache.hits": 3},
+            "gauges": {"liveness.A.peak": 44.0},
+        }
+        text = obs.prometheus_text(summary)
+        assert "# TYPE repro_search_cache_hits_total counter" in text
+        assert "repro_search_cache_hits_total 3" in text
+        assert "# TYPE repro_liveness_A_peak gauge" in text
+        assert "repro_liveness_A_peak 44" in text
+
+    def test_histogram_cumulative_buckets(self):
+        hist = Histogram(buckets=(1, 2, 4))
+        hist.observe_many([1, 3, 100])
+        summary = {
+            "spans": {},
+            "counters": {},
+            "histograms": {"reuse": hist.as_dict()},
+        }
+        lines = obs.prometheus_text(summary).splitlines()
+        assert 'repro_reuse_bucket{le="1"} 1' in lines
+        assert 'repro_reuse_bucket{le="2"} 1' in lines
+        assert 'repro_reuse_bucket{le="4"} 2' in lines
+        assert 'repro_reuse_bucket{le="+Inf"} 3' in lines
+        assert "repro_reuse_sum 104" in lines
+        assert "repro_reuse_count 3" in lines
+
+    def test_span_summary_series(self):
+        summary = {
+            "spans": {
+                "search/evaluate": {
+                    "count": 6,
+                    "total_s": 0.5,
+                    "mean_s": 0.5 / 6,
+                    "min_s": 0.01,
+                    "max_s": 0.2,
+                }
+            },
+            "counters": {},
+        }
+        text = obs.prometheus_text(summary)
+        assert 'repro_span_seconds_count{path="search/evaluate"} 6' in text
+        assert 'repro_span_seconds_sum{path="search/evaluate"} 0.5' in text
+
+    def test_accepts_live_observer(self):
+        observer = obs.enable()
+        obs.counter("hits", 2)
+        obs.gauge("g", 1.5)
+        text = obs.prometheus_text(observer)
+        assert "repro_hits_total 2" in text
+        assert "repro_g 1.5" in text
+
+    def test_empty_summary_renders_empty(self):
+        assert obs.prometheus_text({"spans": {}, "counters": {}}) == ""
+
+
+class TestChromeTraceExport:
+    def _trace(self):
+        buf = io.StringIO()
+        obs.enable(trace=buf)
+        with obs.span("outer"):
+            with obs.span("inner", n=3):
+                pass
+        obs.counter("hits", 2)
+        obs.disable()
+        return _events(buf)
+
+    def test_spans_become_complete_events(self):
+        trace = obs.chrome_trace(self._trace())
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        # Span events are emitted at span end: inner closes first.
+        assert [e["name"] for e in spans] == ["inner", "outer"]
+        inner, outer = spans
+        assert inner["args"]["path"] == "outer/inner"
+        assert inner["args"]["n"] == 3
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_counters_become_counter_samples_at_end(self):
+        trace = obs.chrome_trace(self._trace())
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["name"] == "hits"
+        assert counters[0]["args"] == {"value": 2}
+        end = max(e["ts"] + e["dur"] for e in trace["traceEvents"] if e["ph"] == "X")
+        assert counters[0]["ts"] == end
+
+    def test_write_chrome_trace_round_trip(self, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        obs.enable(trace=str(jsonl))
+        with obs.span("work"):
+            pass
+        obs.disable()
+        out = obs.write_chrome_trace(jsonl, tmp_path / "trace.json")
+        data = json.loads(out.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert [e["name"] for e in data["traceEvents"] if e["ph"] == "X"] == ["work"]
+
+    def test_load_trace_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ev": "meta"}\n\n{"ev": "summary"}\n')
+        assert [e["ev"] for e in obs.load_trace(path)] == ["meta", "summary"]
+
+
+class TestNumpyAttrsRegression:
+    """Satellite (a): numpy scalars in span attrs crashed ``json.dumps``
+    inside ``Observer._emit`` before ``_json_default`` existed."""
+
+    def test_numpy_scalars_serialize_as_plain_numbers(self):
+        buf = io.StringIO()
+        obs.enable(trace=buf)
+        with obs.span("simulate", n=np.int64(5), ratio=np.float64(2.5)):
+            pass
+        obs.disable()
+        span_event = next(e for e in _events(buf) if e["ev"] == "span")
+        assert span_event["attrs"] == {"n": 5, "ratio": 2.5}
+
+    def test_arbitrary_objects_degrade_to_str(self):
+        buf = io.StringIO()
+        obs.enable(trace=buf)
+        with obs.span("simulate", matrix=object()):
+            pass
+        obs.disable()
+        span_event = next(e for e in _events(buf) if e["ev"] == "span")
+        assert span_event["attrs"]["matrix"].startswith("<object object")
+
+    def test_numpy_array_item_failure_falls_back_to_str(self):
+        # A 2-element array has .item() but it raises; _emit must still
+        # not crash and must record the str() form instead.
+        buf = io.StringIO()
+        obs.enable(trace=buf)
+        with obs.span("simulate", arr=np.array([1, 2])):
+            pass
+        obs.disable()
+        span_event = next(e for e in _events(buf) if e["ev"] == "span")
+        assert span_event["attrs"]["arr"] == "[1 2]"
+
+
+class TestFlushLifecycle:
+    """Satellite (c): idempotent flush + the atexit safety net."""
+
+    def test_double_flush_is_a_no_op(self):
+        buf = io.StringIO()
+        observer = obs.enable(trace=buf)
+        obs.counter("done")
+        obs.gauge("g", 7)
+        observer.flush()
+        first = buf.getvalue()
+        observer.flush()
+        assert buf.getvalue() == first
+        assert sum(1 for e in _events(buf) if e["ev"] == "summary") == 1
+        assert [e for e in _events(buf) if e["ev"] == "gauge"] == [
+            {"seq": 2, "ev": "gauge", "name": "g", "value": 7.0}
+        ]
+
+    def test_disable_after_flush_is_safe(self):
+        buf = io.StringIO()
+        observer = obs.enable(trace=buf)
+        observer.flush()
+        before = buf.getvalue()
+        finished = obs.disable()
+        assert finished is observer
+        assert buf.getvalue() == before
+
+    def test_enable_flushes_the_previous_observer(self):
+        buf = io.StringIO()
+        obs.enable(trace=buf)
+        obs.counter("old.run")
+        replacement = obs.enable()
+        assert obs.get_observer() is replacement
+        events = _events(buf)
+        assert events[-1]["ev"] == "summary"
+        assert events[-1]["data"]["counters"] == {"old.run": 1}
+
+    def test_atexit_completes_trace_when_disable_forgotten(self, tmp_path):
+        trace = tmp_path / "orphan.jsonl"
+        script = textwrap.dedent(
+            f"""
+            import sys
+            sys.path.insert(0, {SRC!r})
+            from repro import obs
+            obs.enable(trace={str(trace)!r})
+            with obs.span("work"):
+                obs.counter("done")
+            # No obs.disable(): the atexit hook must flush the trace.
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert events[-1]["ev"] == "summary"
+        assert events[-1]["data"]["counters"] == {"done": 1}
+        assert any(e["ev"] == "span" and e["name"] == "work" for e in events)

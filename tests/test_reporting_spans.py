@@ -1,0 +1,132 @@
+"""Edge-case coverage for :mod:`repro.reporting.spans` and the
+metrics-table renderers it composes (satellite d).
+
+The span-summary table is printed after every ``--trace`` CLI run, so it
+must render sensibly for empty observers, single spans, counters-only
+summaries, and summaries carrying the new gauges/histograms sections.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Histogram
+from repro.reporting import (
+    SpanRow,
+    render_gauges,
+    render_histograms,
+    render_metrics,
+    render_span_summary,
+    span_summary_rows,
+)
+
+
+def _span(count=1, total_s=1.0):
+    return {
+        "count": count,
+        "total_s": total_s,
+        "mean_s": total_s / count,
+        "min_s": 0.0,
+        "max_s": total_s,
+    }
+
+
+class TestSpanRows:
+    def test_empty_summary_has_no_rows(self):
+        assert span_summary_rows({"spans": {}, "counters": {}}) == []
+        assert span_summary_rows({}) == []
+
+    def test_name_and_depth_derive_from_path(self):
+        row = SpanRow(path="search/evaluate/simulate", count=1, total_s=1.0, mean_s=1.0)
+        assert row.name == "simulate"
+        assert row.depth == 2
+        root = SpanRow(path="search", count=1, total_s=1.0, mean_s=1.0)
+        assert root.name == "search"
+        assert root.depth == 0
+
+    def test_rows_come_out_in_path_order(self):
+        summary = {
+            "spans": {
+                "b": _span(),
+                "a/child": _span(),
+                "a": _span(),
+            },
+            "counters": {},
+        }
+        assert [r.path for r in span_summary_rows(summary)] == ["a", "a/child", "b"]
+
+
+class TestRenderSpanSummary:
+    def test_empty_input(self):
+        assert render_span_summary({"spans": {}, "counters": {}}) == (
+            "(no spans or counters recorded)"
+        )
+
+    def test_single_span(self):
+        out = render_span_summary({"spans": {"solo": _span(2, 1.0)}, "counters": {}})
+        lines = out.splitlines()
+        assert lines[0].startswith("span")
+        assert "solo" in lines[2]
+        assert "2" in lines[2]
+        assert "counter" not in out
+
+    def test_counters_only(self):
+        out = render_span_summary({"spans": {}, "counters": {"hits": 3}})
+        assert out.splitlines()[0].startswith("counter")
+        assert "hits" in out
+
+    def test_children_indented_under_parents(self):
+        out = render_span_summary(
+            {"spans": {"a": _span(), "a/b": _span()}, "counters": {}}
+        )
+        lines = out.splitlines()
+        assert lines[2].startswith("a ")
+        assert lines[3].startswith("  b")
+
+    def test_metrics_sections_appended(self):
+        hist = Histogram(buckets=(1, 2))
+        hist.observe_many([1, 2])
+        out = render_span_summary(
+            {
+                "spans": {"a": _span()},
+                "counters": {"hits": 1},
+                "gauges": {"liveness.A.peak": 44.0},
+                "histograms": {"occupancy": hist.as_dict()},
+            }
+        )
+        assert "gauge" in out
+        assert "liveness.A.peak" in out
+        assert "44" in out
+        assert "histogram" in out
+        assert "occupancy" in out
+
+
+class TestMetricsTables:
+    def test_absent_sections_render_empty(self):
+        assert render_gauges({}) == ""
+        assert render_histograms({}) == ""
+        assert render_metrics({"spans": {}, "counters": {}}) == ""
+
+    def test_gauge_float_formatting(self):
+        out = render_gauges({"gauges": {"whole": 44.0, "frac": 1.25}})
+        assert "44" in out
+        assert "44.000" not in out
+        assert "1.250" in out
+
+    def test_histogram_table_shows_count_sum_mean(self):
+        hist = Histogram(buckets=(1, 2))
+        hist.observe_many([1, 3])
+        out = render_histograms({"histograms": {"h": hist.as_dict()}})
+        assert "h" in out
+        assert "2" in out  # count
+        assert "4" in out  # sum
+
+    def test_render_metrics_joins_sections(self):
+        hist = Histogram(buckets=(1,))
+        hist.observe(1)
+        out = render_metrics(
+            {
+                "gauges": {"g": 1.0},
+                "histograms": {"h": hist.as_dict()},
+            }
+        )
+        assert "\n\n" in out
+        assert out.index("g") < out.index("h")

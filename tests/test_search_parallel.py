@@ -10,11 +10,14 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.core.optimizer import optimize_program
 from repro.ir import parse_program
 from repro.kernels import KERNELS
 from repro.linalg import IntMatrix
+from repro.transform.elementary import signed_permutations
 from repro.transform.search import (
+    PARALLEL_THRESHOLD,
     clear_exact_cache,
     evaluate_exact,
     exact_cache_size,
@@ -24,8 +27,10 @@ from repro.transform.search import (
 
 @pytest.fixture(autouse=True)
 def fresh_cache():
+    obs.disable()
     clear_exact_cache()
     yield
+    obs.disable()
     clear_exact_cache()
 
 
@@ -63,6 +68,64 @@ class TestSerialParallelParity:
         ts = [None, IntMatrix([[0, 1], [1, 0]])]
         assert evaluate_exact(program, ts, array="A", workers=4) == \
             evaluate_exact(program, ts, array="A", workers=0)
+
+
+class TestWorkerCounterPropagation:
+    """Satellite (b): counters bumped inside pool workers must reach the
+    parent observer, so serial and parallel totals reconcile."""
+
+    def _candidates(self):
+        # Enough distinct candidates to clear PARALLEL_THRESHOLD.
+        candidates = [None] + list(signed_permutations(2)) + [
+            IntMatrix([[1, 1], [0, 1]]),
+            IntMatrix([[1, 0], [1, 1]]),
+        ]
+        assert len(candidates) > PARALLEL_THRESHOLD
+        return candidates
+
+    def _run(self, workers):
+        program = parse_program(
+            "for i = 1 to 12 { for j = 1 to 12 { A[i][j] = A[i-1][j-1] } }"
+        )
+        observer = obs.enable()
+        values = evaluate_exact(
+            program, self._candidates(), array="A", workers=workers
+        )
+        obs.disable()
+        return values, observer.summary()["counters"]
+
+    def test_serial_parallel_counter_totals_match(self):
+        serial_values, serial = self._run(workers=0)
+        clear_exact_cache()
+        parallel_values, parallel = self._run(workers=2)
+        assert serial_values == parallel_values
+        # The simulator/cache counters must reconcile exactly.  (The
+        # fast.iter_matrix.* counters legitimately differ: each worker
+        # unpickles its own Program copy, so its weak-keyed iteration
+        # cache misses where the serial parent hits.)
+        for key in (
+            "fast.simulate.calls",
+            "search.cache.misses",
+            "search.cache.hits",
+        ):
+            assert serial.get(key, 0) == parallel.get(key, 0), key
+        assert serial["fast.simulate.calls"] == len(self._candidates())
+
+    def test_parallel_batch_counters_recorded(self):
+        _, parallel = self._run(workers=2)
+        assert parallel["search.parallel.batches"] == 1
+        assert parallel["search.parallel.tasks"] == len(self._candidates())
+
+    def test_parallel_without_observer_still_works(self):
+        program = parse_program(
+            "for i = 1 to 12 { for j = 1 to 12 { A[i][j] = A[i-1][j-1] } }"
+        )
+        candidates = self._candidates()
+        serial = evaluate_exact(program, candidates, array="A", workers=0)
+        clear_exact_cache()
+        parallel = evaluate_exact(program, candidates, array="A", workers=2)
+        assert serial == parallel
+        assert not obs.enabled()
 
 
 class TestExactCache:

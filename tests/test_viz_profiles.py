@@ -1,0 +1,126 @@
+"""Edge-case coverage for :mod:`repro.viz.profiles` (satellite d).
+
+The renderers must survive degenerate inputs — empty series, all-zero
+occupancy, single-entry histograms — because they sit directly behind
+``repro viz --liveness`` and the reporting layer, where an unusual
+kernel (zero-reuse programs, empty nests) must degrade to readable text
+rather than a ZeroDivisionError.
+"""
+
+from __future__ import annotations
+
+from repro.viz import (
+    render_histogram,
+    render_liveness_profile,
+    render_profile_bars,
+    sparkline,
+)
+from repro.window import LivenessProfile
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero_series_is_blank(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_single_value(self):
+        assert sparkline([5]) == "@"
+
+    def test_downsampling_preserves_peak(self):
+        values = [1] * 200
+        values[137] = 99
+        line = sparkline(values, width=20)
+        assert len(line) == 20
+        assert "@" in line  # max-pool resampling keeps the spike
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2], width=60)) == 2
+
+
+class TestProfileBars:
+    def test_empty_series_renders_title_only(self):
+        assert render_profile_bars([], title="occupancy:") == "occupancy:"
+        assert render_profile_bars([]) == ""
+
+    def test_all_zero_series_draws_empty_chart(self):
+        out = render_profile_bars([0, 0], height=2)
+        lines = out.splitlines()
+        assert lines[0].endswith("|  ")
+        assert lines[-1] == "    0 +--"
+
+    def test_single_value_axis_labels(self):
+        lines = render_profile_bars([7], height=3).splitlines()
+        assert lines[0] == "    7 |#"
+        assert lines[-1] == "    0 +-"
+        assert len(lines) == 4  # 3 bar rows + baseline
+
+    def test_peak_survives_width_downsampling(self):
+        values = [1] * 300
+        values[250] = 42
+        out = render_profile_bars(values, width=30)
+        assert "   42 |" in out
+        top_row = out.splitlines()[0]
+        assert top_row.count("#") == 1
+
+
+class TestRenderHistogram:
+    def test_empty_histogram(self):
+        assert render_histogram({}) == "(empty histogram)"
+
+    def test_empty_histogram_keeps_title(self):
+        assert render_histogram({}, title="reuse:") == "reuse:\n(empty histogram)"
+
+    def test_single_entry(self):
+        assert render_histogram({5: 3}, width=4) == "    5 |#### 3"
+
+    def test_bars_scale_to_largest_count(self):
+        lines = render_histogram({1: 10, 2: 5}, width=10).splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_small_counts_round_up_to_one_mark(self):
+        lines = render_histogram({1: 1000, 2: 1}, width=10).splitlines()
+        assert lines[1].count("#") == 1
+
+    def test_rows_sorted_by_value(self):
+        lines = render_histogram({9: 1, 2: 1, 5: 1}).splitlines()
+        assert [int(line.split("|")[0]) for line in lines] == [2, 5, 9]
+
+
+class TestRenderLivenessProfile:
+    def _profile(self, **overrides):
+        fields = dict(
+            array="A",
+            occupancy=(1, 2, 2, 1),
+            peak=2,
+            peak_time=1,
+            peak_point=(1, 2),
+            reuse_histogram={1: 3},
+        )
+        fields.update(overrides)
+        return LivenessProfile(**fields)
+
+    def test_headline_names_peak_and_location(self):
+        out = render_liveness_profile(self._profile())
+        assert "liveness of A: peak 2 at t=1 = iteration (1, 2)" in out
+        assert "mean occupancy 1.5" in out
+        assert "occupancy over time:" in out
+        assert "reuse distances" in out
+
+    def test_empty_profile_renders_without_error(self):
+        profile = self._profile(
+            occupancy=(), peak=0, peak_time=-1, peak_point=None,
+            reuse_histogram={},
+        )
+        out = render_liveness_profile(profile)
+        assert "peak 0 at t=-1" in out
+        assert "iteration" not in out
+        assert "reuse distances" not in out
+        assert "mean occupancy 0.0" in out
+
+    def test_zero_reuse_omits_histogram_section(self):
+        out = render_liveness_profile(self._profile(reuse_histogram={}))
+        assert "reuse distances" not in out
+        assert "occupancy over time:" in out
