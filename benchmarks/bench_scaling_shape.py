@@ -55,6 +55,29 @@ def test_sor_scaling(benchmark, n):
            rows=round(result.mws_after / n, 2))
 
 
+def test_two_point_streaming_beyond_dense_budget(benchmark, monkeypatch):
+    """One size past the dense ceiling: with the dense-matrix budget
+    forced below the 128x128 iteration count, ``auto`` flips to the
+    streaming chunked engine and the linear-window shape claim still
+    holds exactly (the streamed value equals the dense one computed
+    before the budget is lowered)."""
+    from repro.window import max_window_size, resolve_engine
+
+    n = 128
+    program = two_point(n)  # 16384 iterations
+    (array,) = program.arrays
+    dense = max_window_size(program, array, engine="fast")
+    monkeypatch.setenv("REPRO_DENSE_BUDGET", "10000")
+    assert resolve_engine(program, "auto") == "streaming"
+    streamed = benchmark.pedantic(
+        max_window_size, args=(program, array), kwargs={"engine": "auto"},
+        rounds=1, iterations=1,
+    )
+    assert streamed == dense == n
+    assert streamed <= n + 4  # window stays one row: linear, not quadratic
+    record(benchmark, n=n, mws_streamed=streamed, engine="streaming")
+
+
 def test_reductions_improve_with_size(benchmark):
     def run():
         out = {}

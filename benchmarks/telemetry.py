@@ -1,83 +1,40 @@
 """Bench-telemetry artifacts: ``BENCH_<name>.json`` writers.
 
-Each benchmark module declares ``BENCH_NAME = "<name>"``; the conftest
-hooks collect every test's wall-clock and ``record()``-ed numbers and
-call :func:`write_artifact` at session end.  The artifact carries the
-reproduced metrics (the stable part ``repro bench-compare`` diffs
-against a baseline), per-test wall seconds, the observer's counter
-totals, and host/commit metadata.
+Thin wrapper over :mod:`repro.reporting.telemetry` (the writer moved
+there so ``repro bench`` and the chunk sweep share it); this module
+pins the artifact directory to ``benchmarks/artifacts/`` regardless of
+the working directory.  Each benchmark module declares ``BENCH_NAME =
+"<name>"``; the conftest hooks collect every test's wall-clock and
+``record()``-ed numbers and call :func:`write_artifact` at session end.
 
-The artifact directory defaults to ``benchmarks/artifacts/`` and can be
-redirected with the ``BENCH_ARTIFACT_DIR`` environment variable.
+The artifact directory can be redirected with the ``BENCH_ARTIFACT_DIR``
+environment variable.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import platform
-import subprocess
-import time
 from pathlib import Path
 from typing import Any, Mapping
 
-SCHEMA_VERSION = 1
-
-ARTIFACT_DIR_ENV = "BENCH_ARTIFACT_DIR"
+from repro.reporting.telemetry import (  # noqa: F401  (re-exported API)
+    ARTIFACT_DIR_ENV,
+    SCHEMA_VERSION,
+    build_artifact,
+    host_metadata,
+)
+from repro.reporting.telemetry import artifact_dir as _artifact_dir
+from repro.reporting.telemetry import write_artifact as _write_artifact
 
 DEFAULT_ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
 
 
 def artifact_dir() -> Path:
     """Where artifacts go: ``$BENCH_ARTIFACT_DIR`` or benchmarks/artifacts."""
-    override = os.environ.get(ARTIFACT_DIR_ENV)
-    return Path(override) if override else DEFAULT_ARTIFACT_DIR
-
-
-def host_metadata() -> dict[str, Any]:
-    """Python/platform/CPU plus the git commit when available."""
-    meta: dict[str, Any] = {
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "cpu_count": os.cpu_count(),
-    }
-    try:
-        proc = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True,
-            text=True,
-            cwd=Path(__file__).resolve().parent,
-            timeout=5,
-        )
-        if proc.returncode == 0:
-            meta["commit"] = proc.stdout.strip()
-    except OSError:
-        pass
-    return meta
-
-
-def build_artifact(
-    name: str,
-    metrics: Mapping[str, Any],
-    wall_s: Mapping[str, float] | None = None,
-    counters: Mapping[str, int] | None = None,
-) -> dict[str, Any]:
-    """Assemble one bench's artifact dict (JSON-ready)."""
-    return {
-        "bench": name,
-        "schema": SCHEMA_VERSION,
-        "created_unix": round(time.time(), 3),
-        "host": host_metadata(),
-        "metrics": dict(sorted(metrics.items())),
-        "wall_s": dict(sorted((wall_s or {}).items())),
-        "counters": dict(sorted((counters or {}).items())),
-    }
+    return _artifact_dir(default=DEFAULT_ARTIFACT_DIR)
 
 
 def write_artifact(artifact: Mapping[str, Any], directory: Path | None = None) -> Path:
     """Write ``BENCH_<name>.json``; returns the path."""
-    directory = Path(directory) if directory is not None else artifact_dir()
-    directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"BENCH_{artifact['bench']}.json"
-    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
-    return path
+    if directory is None:
+        directory = artifact_dir()
+    return _write_artifact(artifact, directory)

@@ -10,10 +10,14 @@
     python -m repro distribute loop.txt     # legal loop fission
     python -m repro viz loop.txt            # reuse region / window profile art
     python -m repro figure2 [--kernel sor]  # regenerate the paper's table
+    python -m repro bench --chunk-sweep     # streaming-engine chunk sweep
 
 Global flags (before the subcommand):
 
     --workers N        parallelize candidate evaluation over N processes
+    --engine NAME      window engine: auto | reference | fast | streaming
+                       | zhao_malik (auto picks fast or, past the dense
+                       budget, streaming)
     --trace out.jsonl  record an observability trace; prints a span
                        summary on exit (see docs/observability.md)
 
@@ -41,7 +45,7 @@ def _load(path: str, name: str | None = None):
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     program = _load(args.file)
-    print(analyze_program(program))
+    print(analyze_program(program, engine=args.engine))
     return 0
 
 
@@ -64,7 +68,7 @@ def _cmd_dependences(args: argparse.Namespace) -> int:
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     program = _load(args.file)
-    result = optimize_program(program, workers=args.workers)
+    result = optimize_program(program, workers=args.workers, engine=args.engine)
     print(f"MWS before : {result.mws_before}")
     print(f"MWS after  : {result.mws_after}")
     print(f"reduction  : {100 * result.reduction:.1f}%")
@@ -81,9 +85,9 @@ def _cmd_size(args: argparse.Namespace) -> int:
     transformation = None
     if args.optimized:
         transformation = optimize_program(
-            program, workers=args.workers
+            program, workers=args.workers, engine=args.engine
         ).transformation
-    report = size_memory_for_program(program, transformation)
+    report = size_memory_for_program(program, transformation, engine=args.engine)
     print(f"declared            : {report.declared_words} words")
     print(f"maximum window size : {report.mws_words} words")
     print(f"provisioned         : {report.provisioned_words} words")
@@ -178,7 +182,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     jr = journal.enable()
     try:
         result = search_best_transformation(
-            program, array, bound=args.bound, workers=args.workers
+            program, array, bound=args.bound, workers=args.workers,
+            engine=args.engine,
         )
     finally:
         journal.disable()
@@ -208,6 +213,63 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+#: Default program for ``repro bench``: a 256x256 stencil whose window
+#: the streaming engine chunks 100+ times at small chunk sizes.
+_BENCH_STENCIL = """
+for i = 1 to 256 {
+  for j = 1 to 256 {
+    A[i + j] = A[i + j + 1] + A[i + j + 2]
+  }
+}
+"""
+
+#: Chunk sizes swept by ``repro bench --chunk-sweep``.
+_SWEEP_SIZES = "4096,16384,65536,262144"
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.reporting.telemetry import build_artifact, write_artifact
+    from repro.window.streaming import max_total_window_streaming, stream_chunk
+
+    if args.file:
+        program = _load(args.file)
+    else:
+        program = parse_program(_BENCH_STENCIL, name="stencil256")
+    if args.chunk_sweep:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    else:
+        sizes = [stream_chunk()]
+    rows = []
+    for chunk in sizes:
+        own_observer = obs.get_observer() is None
+        observer = obs.enable() if own_observer else obs.get_observer()
+        start_chunks = int(observer.counters.get("streaming.chunks", 0))
+        start = time.perf_counter()
+        mws_total = max_total_window_streaming(program, chunk=chunk)
+        wall = time.perf_counter() - start
+        chunks = int(observer.counters.get("streaming.chunks", 0)) - start_chunks
+        if own_observer:
+            obs.disable()
+        metrics = {
+            "mws_total": mws_total,
+            "stream_wall_s": round(wall, 6),
+            "chunks": chunks,
+        }
+        artifact = build_artifact(f"chunk_{chunk}", metrics=metrics)
+        path = write_artifact(artifact, directory=args.out and Path(args.out))
+        rows.append((chunk, mws_total, wall, chunks, path))
+    header = f"{'chunk':>8} {'mws_total':>10} {'wall_s':>9} {'chunks':>7}  artifact"
+    print(f"streaming chunk sweep over {program.name} "
+          f"({program.nest.total_iterations} iterations):")
+    print(header)
+    print("-" * len(header))
+    for chunk, mws_total, wall, chunks, path in rows:
+        print(f"{chunk:>8} {mws_total:>10} {wall:>9.4f} {chunks:>7}  {path}")
+    return 0
+
+
 def _cmd_figure2(args: argparse.Namespace) -> int:
     from repro.kernels import KERNELS, kernel_by_name
     from repro.reporting import figure2_row, render_table
@@ -232,6 +294,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="evaluate search candidates on N worker processes (0 = serial)",
+    )
+    from repro.window import ENGINES
+
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="auto",
+        help="window engine (auto = fast, or streaming past the dense budget)",
     )
     parser.add_argument(
         "--trace",
@@ -304,6 +374,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="also list unchanged metrics"
     )
     p.set_defaults(func=_cmd_bench_compare)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the streaming engine; --chunk-sweep writes one "
+             "BENCH_chunk_<size>.json per chunk size",
+    )
+    p.add_argument(
+        "--file", help="loop-nest file (default: built-in 256x256 stencil)"
+    )
+    p.add_argument(
+        "--chunk-sweep",
+        action="store_true",
+        help="sweep chunk sizes instead of the session default",
+    )
+    p.add_argument(
+        "--sizes",
+        default=_SWEEP_SIZES,
+        help=f"comma-separated chunk sizes for the sweep (default {_SWEEP_SIZES})",
+    )
+    p.add_argument(
+        "--out", help="artifact directory (default: benchmarks/artifacts)"
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("figure2", help="regenerate the paper's results table")
     p.add_argument("--kernel", help="one kernel only (e.g. sor)")

@@ -52,7 +52,7 @@ def _program_ordering_distances(program: Program) -> list[tuple[int, ...]]:
 
 
 def candidate_transformations(
-    program: Program, workers: int = 0
+    program: Program, workers: int = 0, engine: str = "auto"
 ) -> list[IntMatrix]:
     """Legal candidate transformations for program-level optimization.
 
@@ -84,7 +84,7 @@ def candidate_transformations(
             if not program.is_uniformly_generated(array):
                 continue
             try:
-                result = search(program, array, workers=workers)
+                result = search(program, array, workers=workers, engine=engine)
             except (ValueError, KeyError):
                 continue
             if is_legal(result.transformation, distances):
@@ -123,7 +123,9 @@ def _access_embeddings(
     return out
 
 
-def optimize_program(program: Program, workers: int = 0) -> OptimizationResult:
+def optimize_program(
+    program: Program, workers: int = 0, engine: str = "auto"
+) -> OptimizationResult:
     """Choose the legal transformation minimizing total MWS.
 
     Exact scoring via the window simulator; the identity is always a
@@ -132,22 +134,32 @@ def optimize_program(program: Program, workers: int = 0) -> OptimizationResult:
     candidate scoring; results are identical to serial mode (candidates
     are scored in the same deterministic order with strict-improvement
     tie-breaking either way).
+
+    Candidates run through the tiered evaluation cascade: the native
+    order (first, so its score is always exact) sets the incumbent, and
+    candidates whose certified/clipped lower bound cannot strictly beat
+    the running best are never simulated — the chosen transformation is
+    identical to scoring everything.  ``engine`` picks the window engine
+    (:data:`repro.window.ENGINES`).
     """
-    from repro.transform.search import evaluate_exact
+    from repro.transform.search import evaluate_cascade
 
     with obs.span("optimize", program=program.name, workers=workers):
         with obs.span("candidates"):
-            candidates = candidate_transformations(program, workers=workers)
+            candidates = candidate_transformations(
+                program, workers=workers, engine=engine
+            )
         obs.counter("optimize.candidates", len(candidates))
-        scores = evaluate_exact(
-            program, [None] + candidates, array=None, workers=workers
+        outcomes = evaluate_cascade(
+            program, [None] + candidates, array=None, workers=workers,
+            engine=engine,
         )
-        before = scores[0]
+        before = outcomes[0].value
         best_t = IntMatrix.identity(program.nest.depth)
         best_value = before
-        for t, value in zip(candidates, scores[1:]):
-            if value < best_value:
-                best_value = value
+        for t, outcome in zip(candidates, outcomes[1:]):
+            if outcome.exact and outcome.value < best_value:
+                best_value = outcome.value
                 best_t = t
         return OptimizationResult(
             program=program.name,

@@ -33,18 +33,24 @@ class AnalysisReport:
         return "\n".join(lines)
 
 
-def analyze_program(program: Program) -> AnalysisReport:
-    """Estimate footprints and measure exact windows for every array."""
+def analyze_program(program: Program, engine: str = "auto") -> AnalysisReport:
+    """Estimate footprints and measure exact windows for every array.
+
+    ``engine`` selects the window engine (:data:`repro.window.ENGINES`);
+    the default resolves to the streaming engine for nests too large to
+    enumerate densely.
+    """
     footprint = estimate_program_memory(program)
     per_array = {
-        array: max_window_size(program, array) for array in program.arrays
+        array: max_window_size(program, array, engine=engine)
+        for array in program.arrays
     }
     return AnalysisReport(
         program=program.name,
         default_memory=program.default_memory,
         footprint=footprint,
         mws_per_array=per_array,
-        mws_total=max_total_window(program),
+        mws_total=max_total_window(program, engine=engine),
     )
 
 
@@ -68,10 +74,10 @@ class FullReport:
         )
 
 
-def full_report(program: Program) -> FullReport:
+def full_report(program: Program, engine: str = "auto") -> FullReport:
     """Run the whole paper pipeline on one program."""
-    analysis = analyze_program(program)
-    optimization = optimize_program(program)
+    analysis = analyze_program(program, engine=engine)
+    optimization = optimize_program(program, engine=engine)
     sizing_before = size_memory_for_program(program)
     sizing_after = size_memory_for_program(program, optimization.transformation)
     return FullReport(analysis, optimization, sizing_before, sizing_after)

@@ -22,7 +22,10 @@ Sylvester gap mass of the references.
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.ir.program import Program
 from repro.ir.reference import ArrayRef
@@ -163,3 +166,213 @@ def nonuniform_bounds(program: Program, array: str) -> NonUniformBounds:
             comp_lower = 0
         lower += min(comp_lower, comp_upper)
     return NonUniformBounds(array, lower, upper, lb_min, ub_max)
+
+
+# ---------------------------------------------------------------------------
+# Cascade support: certified reuse facts (tier 1) and clipped-program
+# lower bounds (tier 2) for the search's tiered pruning.
+# ---------------------------------------------------------------------------
+
+#: Environment variable overriding the tier-2 clipping budget.
+CLIP_BUDGET_ENV = "REPRO_CLIP_BUDGET"
+
+#: Default iteration count of the clipped sub-box used for tier-2 lower
+#: bounds.  Small enough that a clipped exact evaluation is cheap next to
+#: a full simulation, large enough to retain pruning power.
+DEFAULT_CLIP_BUDGET = 4096
+
+
+def clip_budget() -> int:
+    """Iteration budget of the tier-2 clipped sub-program."""
+    raw = os.environ.get(CLIP_BUDGET_ENV)
+    if raw is None:
+        return DEFAULT_CLIP_BUDGET
+    return int(raw)
+
+
+def _family_fits_box(
+    particular: Sequence[int],
+    kernel: Sequence[Sequence[int]],
+    spans: Sequence[int],
+) -> bool | None:
+    """Does ``{particular + sum t_i * kernel_i}`` contain a **nonzero**
+    vector ``d`` with ``|d_k| <= spans[k]`` for every ``k``?
+
+    Such a ``d`` is a difference of two in-box iterations (the iteration
+    space is a full rectangular box, so ``d`` is realizable iff each
+    component fits its axis span).  Exact for kernel dimension <= 1;
+    for dimension >= 2 the answer is ``True`` when an obvious member
+    fits and ``None`` (undecided) otherwise — never a certified ``False``.
+    """
+    n = len(spans)
+
+    def fits(d: Sequence[int]) -> bool:
+        return any(d) and all(abs(d[k]) <= spans[k] for k in range(n))
+
+    if fits(particular):
+        return True
+    if not kernel:
+        # Unique solution; it either fits (handled above) or nothing does.
+        return False
+    if len(kernel) >= 2:
+        # Cheap sweep of neighbouring lattice members before giving up.
+        for v in kernel:
+            for sign in (1, -1):
+                if fits([p + sign * c for p, c in zip(particular, v)]):
+                    return True
+        return None
+    (v,) = kernel
+    # One free parameter: d = particular + t*v.  Intersect the per-axis
+    # constraints |p_k + t v_k| <= span_k into one integer interval.
+    lo, hi = None, None
+    for k in range(n):
+        p, c, s = particular[k], v[k], spans[k]
+        if c == 0:
+            if abs(p) > s:
+                return False
+            continue
+        # -s <= p + t*c <= s
+        left = -s - p
+        right = s - p
+        if c > 0:
+            t_lo = -(-left // c)  # ceil(left / c)
+            t_hi = right // c
+        else:
+            t_lo = -(-right // c)
+            t_hi = left // c
+        lo = t_lo if lo is None else max(lo, t_lo)
+        hi = t_hi if hi is None else min(hi, t_hi)
+    if lo is None:
+        # v == 0 cannot happen (kernel basis vectors are nonzero), but
+        # guard: the family degenerates to the particular solution.
+        return False
+    if lo > hi:
+        return False
+    if hi > lo:
+        # At least two members fit; at most one of them is the zero vector.
+        return True
+    return any(p + lo * c for p, c in zip(particular, v))
+
+
+def certified_reuse(program: Program, array: str) -> bool | None:
+    """Transformation-invariant reuse fact for one array, or ``None``.
+
+    ``True``  — some element is touched at two *distinct* iterations, so
+    the exact MWS of the array is >= 1 under **every** unimodular
+    re-ordering (any order separates distinct iterations in time).
+
+    ``False`` — no element is ever touched at two distinct iterations,
+    so the exact MWS is 0 under **every** ordering (an element touched
+    only at one time never enters the window).  This lets the search
+    finalize all candidates for the array without simulating any.
+
+    ``None``  — undecided (non-uniform references, or a solution family
+    with >= 2 free parameters that the exact interval argument cannot
+    settle).  Undecided never prunes.
+    """
+    if not program.is_uniformly_generated(array):
+        return None
+    refs = list(program.refs_to(array))
+    if not refs:
+        raise KeyError(array)
+    from repro.dependence.analysis import _particular_solution
+    from repro.linalg import integer_nullspace
+
+    access = refs[0].access
+    kernel = integer_nullspace(access)
+    spans = [upper - lower for lower, upper
+             in zip(program.nest.lowers, program.nest.uppers)]
+    undecided = False
+    seen: set[tuple[int, ...]] = set()
+    deltas: list[tuple[int, ...]] = []
+    offsets = [tuple(ref.offset) for ref in refs]
+    # Self-reuse (same offset, nonzero kernel member) plus every pair of
+    # distinct offsets; A d = c_a - c_b with d a nonzero in-box difference.
+    zero = tuple([0] * len(offsets[0]))
+    candidates = {zero}
+    for i, ca in enumerate(offsets):
+        for cb in offsets[i + 1:]:
+            candidates.add(tuple(a - b for a, b in zip(ca, cb)))
+    for delta in candidates:
+        if delta in seen:
+            continue
+        seen.add(delta)
+        particular = _particular_solution(access, list(delta))
+        if particular is None:
+            continue
+        verdict = _family_fits_box(particular, kernel, spans)
+        if verdict is True:
+            return True
+        if verdict is None:
+            undecided = True
+    return None if undecided else False
+
+
+def certified_zero_total(program: Program) -> bool:
+    """True iff every array's MWS is certified 0 under any ordering."""
+    return all(
+        certified_reuse(program, array) is False for array in program.arrays
+    )
+
+
+#: ``(program signature, budget)`` -> clipped program.  Bounded: cleared
+#: wholesale when it outgrows its cap.
+_CLIP_CACHE: dict[tuple[str, int], Program] = {}
+_CLIP_CACHE_LIMIT = 256
+
+
+def clear_clip_cache() -> None:
+    """Drop memoized clipped programs (tests)."""
+    _CLIP_CACHE.clear()
+
+
+def _clipped_trips(trips: Sequence[int], budget: int) -> list[int]:
+    """Shrink the largest axes (halving, keeping >= 4 iterations each)
+    until the box fits the budget or no axis can shrink further."""
+    clipped = list(trips)
+    while math.prod(clipped) > budget:
+        k = max(range(len(clipped)), key=lambda i: clipped[i])
+        if clipped[k] <= 4:
+            break
+        clipped[k] = max(4, clipped[k] // 2)
+    return clipped
+
+
+def clipped_program(program: Program, budget: int | None = None) -> Program:
+    """A sub-box restriction of the program for tier-2 lower bounds.
+
+    The clipped nest keeps every lower bound and shrinks upper bounds so
+    the box holds at most ``budget`` iterations (largest axes first).
+
+    **Admissibility.**  For any unimodular ``T``, the exact MWS of the
+    clipped program under ``T`` lower-bounds the full program's MWS
+    under ``T`` (per array and in total): restricting the lex order of
+    ``T @ i`` to a subset of iterations preserves relative order, so
+    every element live at clipped time ``tau`` is live at the embedded
+    full-program time ``phi(tau)`` — the clipped window is a subset of a
+    full window.  The bound holds whatever clipping heuristic is used;
+    the heuristic only affects how tight it is.
+    """
+    if budget is None:
+        budget = clip_budget()
+    key = (program.signature(), budget)
+    cached = _CLIP_CACHE.get(key)
+    if cached is not None:
+        return cached
+    from repro.ir.loop import Loop, LoopNest
+
+    trips = _clipped_trips(program.nest.trip_counts, budget)
+    loops = [
+        Loop(loop.index, loop.lower, loop.lower + trip - 1)
+        for loop, trip in zip(program.nest.loops, trips)
+    ]
+    clipped = Program(
+        nest=LoopNest(loops),
+        statements=program.statements,
+        decls=program.decls,
+        name=f"{program.name}#clip",
+    )
+    if len(_CLIP_CACHE) >= _CLIP_CACHE_LIMIT:
+        _CLIP_CACHE.clear()
+    _CLIP_CACHE[key] = clipped
+    return clipped

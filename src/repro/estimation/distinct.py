@@ -104,6 +104,10 @@ def distinct_accesses_same_rank(
         raise ValueError(f"{array}: access matrix is singular or not square")
     trips = program.nest.trip_counts
     total = program.nest.total_iterations
+    # References sharing an offset touch exactly the same elements; the
+    # sink formula counts reuse only along nonzero distances, so duplicates
+    # must collapse to a single reference before counting r.
+    refs = list({ref.offset: ref for ref in refs}.values())
     r = len(refs)
     if r == 1:
         return DistinctAccessEstimate(array, total, total, "d==n single ref", True, 0)

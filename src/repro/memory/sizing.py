@@ -61,6 +61,7 @@ def size_memory_for_program(
     transformation: IntMatrix | None = None,
     model: MemoryCostModel | None = None,
     round_pow2: bool = True,
+    engine: str = "auto",
 ) -> SizingReport:
     """Measure MWS, provision a buffer, and verify with the scratchpad.
 
@@ -70,7 +71,7 @@ def size_memory_for_program(
     """
     model = model or MemoryCostModel()
     declared = program.default_memory
-    mws = max_total_window(program, transformation)
+    mws = max_total_window(program, transformation, engine=engine)
     capacity = max(1, mws)
     provisioned = _round_up_pow2(capacity) if round_pow2 else capacity
     stats = simulate_scratchpad(program, provisioned, transformation=transformation)

@@ -25,9 +25,11 @@ from repro.reporting.spans import (
 from repro.reporting.telemetry import (
     Comparison,
     MetricDelta,
+    build_artifact,
     compare_artifacts,
     metric_direction,
     render_comparison,
+    write_artifact,
 )
 
 __all__ = [
@@ -48,7 +50,9 @@ __all__ = [
     "render_reconciliation",
     "Comparison",
     "MetricDelta",
+    "build_artifact",
     "compare_artifacts",
     "metric_direction",
     "render_comparison",
+    "write_artifact",
 ]

@@ -19,6 +19,7 @@ RECONCILIATIONS: tuple[tuple[str, str, str], ...] = (
     ("cache misses", "cache_misses", "search.cache.misses"),
     ("bb prunes", "pruned", "search.bb.pruned"),
     ("bb evaluated", "bb_evaluated", "search.bb.evaluated"),
+    ("cascade prunes", "cascade_pruned", "search.cascade.pruned"),
 )
 
 

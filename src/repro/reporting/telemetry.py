@@ -1,17 +1,91 @@
-"""Bench-artifact comparison (``repro bench-compare``).
+"""Bench-telemetry artifacts: writers and comparison.
 
-Diffs the ``metrics`` sections of two ``BENCH_<name>.json`` artifacts
-(see benchmarks/telemetry.py for the writer).  Direction is inferred
-from the metric name — reductions, speedups and hit counts are
-higher-is-better, everything else (MWS words, wall seconds, memory)
-lower-is-better — and a change is a regression when it moves in the bad
-direction by more than the relative threshold.
+One module owns the whole ``BENCH_<name>.json`` life cycle: the writer
+(:func:`build_artifact` / :func:`write_artifact` — used by the benchmark
+harness, ``repro bench`` and the chunk sweep) and the comparison engine
+behind ``repro bench-compare``.  The comparison diffs only the
+``metrics`` sections of two artifacts.  Direction is inferred from the
+metric name — reductions, speedups and hit counts are higher-is-better,
+everything else (MWS words, wall seconds, memory) lower-is-better — and
+a change is a regression when it moves in the bad direction by more
+than the relative threshold.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import subprocess
+import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Mapping
+
+SCHEMA_VERSION = 1
+
+ARTIFACT_DIR_ENV = "BENCH_ARTIFACT_DIR"
+
+#: Resolved relative to the working directory; the benchmark harness
+#: (benchmarks/telemetry.py) overrides this with its own absolute path.
+DEFAULT_ARTIFACT_DIR = Path("benchmarks") / "artifacts"
+
+
+def artifact_dir(default: Path | None = None) -> Path:
+    """Artifact destination: ``$BENCH_ARTIFACT_DIR`` or the default."""
+    override = os.environ.get(ARTIFACT_DIR_ENV)
+    if override:
+        return Path(override)
+    return default if default is not None else DEFAULT_ARTIFACT_DIR
+
+
+def host_metadata() -> dict[str, Any]:
+    """Python/platform/CPU plus the git commit when available."""
+    meta: dict[str, Any] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=5,
+        )
+        if proc.returncode == 0:
+            meta["commit"] = proc.stdout.strip()
+    except OSError:
+        pass
+    return meta
+
+
+def build_artifact(
+    name: str,
+    metrics: Mapping[str, Any],
+    wall_s: Mapping[str, float] | None = None,
+    counters: Mapping[str, int] | None = None,
+) -> dict[str, Any]:
+    """Assemble one bench's artifact dict (JSON-ready)."""
+    return {
+        "bench": name,
+        "schema": SCHEMA_VERSION,
+        "created_unix": round(time.time(), 3),
+        "host": host_metadata(),
+        "metrics": dict(sorted(metrics.items())),
+        "wall_s": dict(sorted((wall_s or {}).items())),
+        "counters": dict(sorted((counters or {}).items())),
+    }
+
+
+def write_artifact(artifact: Mapping[str, Any], directory: Path | None = None) -> Path:
+    """Write ``BENCH_<name>.json``; returns the path."""
+    directory = Path(directory) if directory is not None else artifact_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{artifact['bench']}.json"
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    return path
 
 #: Substrings marking a metric where bigger numbers are good.
 HIGHER_IS_BETTER_MARKERS = ("reduction", "speedup", "hits")

@@ -25,10 +25,15 @@ from repro.transform.completion import (
 from repro.transform import journal
 from repro.transform.journal import CandidateRecord, SearchJournal
 from repro.transform.search import (
+    CascadeOutcome,
     SearchResult,
+    clear_search_cache,
+    evaluate_cascade,
+    evaluate_exact,
     exhaustive_search,
     search_best_transformation,
     search_mws_2d,
+    search_mws_2d_eager,
     search_mws_3d,
 )
 from repro.transform.eisenbeis import eisenbeis_search
@@ -69,8 +74,13 @@ __all__ = [
     "journal",
     "CandidateRecord",
     "SearchJournal",
+    "CascadeOutcome",
     "SearchResult",
+    "clear_search_cache",
+    "evaluate_cascade",
+    "evaluate_exact",
     "search_mws_2d",
+    "search_mws_2d_eager",
     "search_mws_3d",
     "search_best_transformation",
     "exhaustive_search",

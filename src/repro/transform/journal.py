@@ -29,7 +29,7 @@ class CandidateRecord:
     for prunes, or ``None`` for the native order.
     """
 
-    stage: str  # "seed" | "enumerate" | "evaluate" | "prune"
+    stage: str  # "seed" | "enumerate" | "evaluate" | "prune" | "cascade" | "lower_bound"
     candidate: Any
     status: str  # "candidate" | "rejected" | "cache_hit" | "computed" | "pruned"
     reason: str | None = None
@@ -100,14 +100,21 @@ class SearchJournal:
         return out
 
     def counts(self) -> dict[str, int]:
-        """Totals the reconciliation in ``repro explain`` checks."""
+        """Totals the reconciliation in ``repro explain`` checks.
+
+        ``pruned`` counts only branch-and-bound box prunes (stage
+        ``"prune"``); the evaluation cascade's candidate prunes carry
+        stage ``"cascade"`` and are tallied separately, so both can be
+        reconciled against their own counters.
+        """
         return {
             "examined": len(self.by_stage("enumerate")),
             "seeded": len(self.by_stage("seed")),
             "rejected": len(self.by_status("rejected")),
             "cache_hits": len(self.by_status("cache_hit")),
             "cache_misses": len(self.by_status("computed")),
-            "pruned": len(self.by_status("pruned")),
+            "pruned": len(self.by_stage("prune")),
+            "cascade_pruned": len(self.by_stage("cascade")),
             "bb_evaluated": len(self.by_stage("bb")),
         }
 

@@ -55,6 +55,30 @@ def is_tileable(
     return True
 
 
+#: ``(signature, array, kind/flags)`` -> distance vectors.  Dependence
+#: analysis is pure in the program, and the search re-derives the same
+#: distance sets for every candidate batch (and in every pool worker the
+#: program is re-pickled into), so a content-hash memo pays for itself
+#: immediately.  Bounded: dropped wholesale past the cap.
+_DISTANCE_CACHE: dict[tuple, tuple[tuple[int, ...], ...]] = {}
+_DISTANCE_CACHE_LIMIT = 512
+
+
+def clear_distance_cache() -> None:
+    """Drop memoized dependence-distance sets (tests)."""
+    _DISTANCE_CACHE.clear()
+
+
+def _distance_memo(key: tuple, compute) -> list[tuple[int, ...]]:
+    cached = _DISTANCE_CACHE.get(key)
+    if cached is None:
+        cached = tuple(compute())
+        if len(_DISTANCE_CACHE) >= _DISTANCE_CACHE_LIMIT:
+            _DISTANCE_CACHE.clear()
+        _DISTANCE_CACHE[key] = cached
+    return list(cached)
+
+
 def ordering_distances(
     program: Program,
     array: str | None = None,
@@ -71,20 +95,24 @@ def ordering_distances(
     """
     from repro.dependence.analysis import array_dependences
 
-    arrays = [array] if array is not None else [
-        a for a in program.arrays if program.is_uniformly_generated(a)
-    ]
-    seen: dict[tuple[int, ...], None] = {}
-    for name in arrays:
-        if not program.is_uniformly_generated(name):
-            raise ValueError(f"{name}: non-uniform references")
-        for dep in array_dependences(program, name, include_input=True):
-            if not dep.kind.constrains_order:
-                continue
-            if reductions_reorderable and dep.reduction:
-                continue
-            seen.setdefault(dep.distance, None)
-    return list(seen)
+    def compute() -> list[tuple[int, ...]]:
+        arrays = [array] if array is not None else [
+            a for a in program.arrays if program.is_uniformly_generated(a)
+        ]
+        seen: dict[tuple[int, ...], None] = {}
+        for name in arrays:
+            if not program.is_uniformly_generated(name):
+                raise ValueError(f"{name}: non-uniform references")
+            for dep in array_dependences(program, name, include_input=True):
+                if not dep.kind.constrains_order:
+                    continue
+                if reductions_reorderable and dep.reduction:
+                    continue
+                seen.setdefault(dep.distance, None)
+        return list(seen)
+
+    key = (program.signature(), array, reductions_reorderable, "ordering")
+    return _distance_memo(key, compute)
 
 
 def reuse_distances(program: Program, array: str | None = None) -> list[tuple[int, ...]]:
@@ -92,11 +120,15 @@ def reuse_distances(program: Program, array: str | None = None) -> list[tuple[in
     optimization must push to inner levels."""
     from repro.dependence.analysis import array_distance_vectors
 
-    arrays = [array] if array is not None else [
-        a for a in program.arrays if program.is_uniformly_generated(a)
-    ]
-    seen: dict[tuple[int, ...], None] = {}
-    for name in arrays:
-        for d in array_distance_vectors(program, name, include_input=True):
-            seen.setdefault(d, None)
-    return list(seen)
+    def compute() -> list[tuple[int, ...]]:
+        arrays = [array] if array is not None else [
+            a for a in program.arrays if program.is_uniformly_generated(a)
+        ]
+        seen: dict[tuple[int, ...], None] = {}
+        for name in arrays:
+            for d in array_distance_vectors(program, name, include_input=True):
+                seen.setdefault(d, None)
+        return list(seen)
+
+    key = (program.signature(), array, "reuse")
+    return _distance_memo(key, compute)

@@ -12,6 +12,7 @@ unimodular re-ordering) and the paper's closed-form estimates for 2-D
 """
 
 from repro.window.simulator import (
+    ENGINES,
     LivenessProfile,
     WindowProfile,
     element_lifetimes,
@@ -19,7 +20,13 @@ from repro.window.simulator import (
     max_total_window,
     max_window_size,
     record_liveness,
+    resolve_engine,
     window_profile,
+)
+from repro.window.streaming import (
+    DEFAULT_CHUNK,
+    max_total_window_streaming,
+    max_window_size_streaming,
 )
 from repro.window.mws import (
     mws_2d_estimate,
@@ -34,13 +41,20 @@ from repro.window.lifetime import (
 from repro.window.zhao_malik import (
     def_use_occupancy,
     def_use_peak,
+    max_total_window_zhao_malik,
     max_window_size_zhao_malik,
     zhao_malik_report,
 )
 
 __all__ = [
+    "DEFAULT_CHUNK",
+    "ENGINES",
     "LivenessProfile",
     "WindowProfile",
+    "resolve_engine",
+    "max_window_size_streaming",
+    "max_total_window_streaming",
+    "max_total_window_zhao_malik",
     "element_lifetimes",
     "liveness_profile",
     "record_liveness",

@@ -116,6 +116,56 @@ def def_use_peak(
     return peak
 
 
+def _first_last_seen(
+    program: Program,
+    array: str,
+    transformation: IntMatrix | None,
+) -> tuple[dict, dict]:
+    """First and last access time of each touched element of the array."""
+    refs = [ref for ref in program.references if ref.array == array]
+    if not refs:
+        raise KeyError(array)
+    order = _iteration_order(program, transformation)
+    iterator = order if order is not None else program.nest.iterate()
+    first_seen: dict[tuple[int, ...], int] = {}
+    last_seen: dict[tuple[int, ...], int] = {}
+    for time, point in enumerate(iterator):
+        for ref in refs:
+            element = ref.element(point)
+            if element not in first_seen:
+                first_seen[element] = time
+            last_seen[element] = time
+    return first_seen, last_seen
+
+
+def _window_intervals(first_seen: dict, last_seen: dict) -> tuple[list, list]:
+    """Sorted half-open window interval bounds ``[first, last)``; elements
+    touched at only one time never occupy the window and are dropped."""
+    starts = sorted(
+        first_seen[e] for e in first_seen if last_seen[e] > first_seen[e]
+    )
+    ends = sorted(
+        last_seen[e] for e in first_seen if last_seen[e] > first_seen[e]
+    )
+    return starts, ends
+
+
+def _two_pointer_peak(starts: list, ends: list) -> int:
+    """Peak concurrent half-open intervals via the classic merge scan."""
+    peak = current = 0
+    i = j = 0
+    while i < len(starts):
+        if starts[i] < ends[j]:
+            current += 1
+            if current > peak:
+                peak = current
+            i += 1
+        else:
+            current -= 1
+            j += 1
+    return peak
+
+
 def max_window_size_zhao_malik(
     program: Program,
     array: str,
@@ -149,36 +199,9 @@ def max_window_size_zhao_malik(
     >>> max_window_size_zhao_malik(p, "X")
     44
     """
-    refs = [ref for ref in program.references if ref.array == array]
-    if not refs:
-        raise KeyError(array)
-    order = _iteration_order(program, transformation)
-    iterator = order if order is not None else program.nest.iterate()
-    first_seen: dict[tuple[int, ...], int] = {}
-    last_seen: dict[tuple[int, ...], int] = {}
-    for time, point in enumerate(iterator):
-        for ref in refs:
-            element = ref.element(point)
-            if element not in first_seen:
-                first_seen[element] = time
-            last_seen[element] = time
-    starts = sorted(
-        first_seen[e] for e in first_seen if last_seen[e] > first_seen[e]
-    )
-    ends = sorted(
-        last_seen[e] for e in first_seen if last_seen[e] > first_seen[e]
-    )
-    peak = current = 0
-    i = j = 0
-    while i < len(starts):
-        if starts[i] < ends[j]:
-            current += 1
-            if current > peak:
-                peak = current
-            i += 1
-        else:
-            current -= 1
-            j += 1
+    first_seen, last_seen = _first_last_seen(program, array, transformation)
+    starts, ends = _window_intervals(first_seen, last_seen)
+    peak = _two_pointer_peak(starts, ends)
     if profile and obs.enabled():
         from repro.window.simulator import LivenessProfile, record_liveness
 
@@ -207,6 +230,31 @@ def max_window_size_zhao_malik(
             prefix="liveness.zm",
         )
     return peak
+
+
+def max_total_window_zhao_malik(
+    program: Program,
+    transformation: IntMatrix | None = None,
+    arrays=None,
+) -> int:
+    """Exact total MWS (``max_t sum_X |W_X(t)|``) via the two-pointer scan.
+
+    Window semantics (not def-use): all arrays' half-open intervals are
+    merged into one sorted-boundary sweep, matching
+    :func:`repro.window.simulator.max_total_window_reference` — the
+    differential suite pins them equal.
+    """
+    names = tuple(arrays) if arrays is not None else program.arrays
+    starts: list[int] = []
+    ends: list[int] = []
+    for array in names:
+        first_seen, last_seen = _first_last_seen(program, array, transformation)
+        array_starts, array_ends = _window_intervals(first_seen, last_seen)
+        starts.extend(array_starts)
+        ends.extend(array_ends)
+    starts.sort()
+    ends.sort()
+    return _two_pointer_peak(starts, ends)
 
 
 def zhao_malik_report(

@@ -9,11 +9,14 @@ from repro.ir import parse_program
 from repro.ir.generate import GeneratorConfig, random_program
 from repro.linalg import IntMatrix
 from repro.window.fast import (
-    _ITER_MATRIX_CACHE,
+    _ITER_STATE,
     _element_ids,
     _execution_times,
     _iteration_matrix,
+    _peak_concurrent,
+    _time_keys,
     clear_iteration_cache,
+    dense_budget,
     window_deltas,
 )
 
@@ -31,29 +34,27 @@ class TestIterationMatrix:
         prog = parse_program("for i = 1 to 4 { A[i] = 1 }")
         assert _iteration_matrix(prog) is _iteration_matrix(prog)
 
-    def test_cache_lives_off_the_program(self):
-        """The matrix is cached in a module-level WeakKeyDictionary, not
-        stashed as a Program attribute — so it works for frozen/slotted
-        programs and stays out of pickles."""
+    def test_cache_keyed_by_content_hash(self):
+        """The state is cached per Program.signature(), not per object —
+        so a pickled clone (what pool workers deserialize) hits the same
+        entry instead of re-enumerating per candidate."""
         import pickle
 
         prog = parse_program("for i = 1 to 4 { A[i] = 1 }")
         _iteration_matrix(prog)
         assert "_iter_matrix_cache" not in vars(prog)
-        assert prog in _ITER_MATRIX_CACHE
+        assert prog.signature() in _ITER_STATE
         clone = pickle.loads(pickle.dumps(prog))
-        assert clone not in _ITER_MATRIX_CACHE
+        assert _iteration_matrix(clone) is _iteration_matrix(prog)
 
-    def test_cache_entry_dies_with_program(self):
-        import gc
+    def test_cache_is_bounded(self):
+        from repro.window.fast import _ITER_STATE_LIMIT
 
         clear_iteration_cache()
-        prog = parse_program("for i = 1 to 4 { A[i] = 1 }")
-        _iteration_matrix(prog)
-        assert len(_ITER_MATRIX_CACHE) == 1
-        del prog
-        gc.collect()
-        assert len(_ITER_MATRIX_CACHE) == 0
+        for k in range(_ITER_STATE_LIMIT + 5):
+            prog = parse_program(f"for i = 1 to {k + 2} {{ A[i] = 1 }}")
+            _iteration_matrix(prog)
+        assert len(_ITER_STATE) == _ITER_STATE_LIMIT
 
     def test_overflow_guard_rejects_huge_nests(self):
         """math.prod over Python ints detects what int64 np.prod would
@@ -117,6 +118,63 @@ class TestElementIds:
         prog = parse_program("for i = 1 to 4 { A[i] = 1 }")
         with pytest.raises(KeyError):
             _element_ids(prog, "Z")
+
+
+class TestTimeKeys:
+    def test_native_order_is_arange(self):
+        prog = parse_program("for i = 1 to 4 { for j = 1 to 3 { A[i][j] = 1 } }")
+        assert np.array_equal(_time_keys(prog, None), np.arange(12))
+
+    def test_packed_keys_order_isomorphic_to_ranks(self):
+        prog = parse_program(
+            "for i = 1 to 5 { for j = -2 to 3 { A[i][j] = 1 } }"
+        )
+        for rows in ([[0, 1], [1, 0]], [[1, 1], [0, 1]], [[1, -1], [0, 1]],
+                     [[2, 1], [1, 1]]):
+            t = IntMatrix(rows)
+            keys = _time_keys(prog, t)
+            ranks = _execution_times(prog, t)
+            assert len(set(keys.tolist())) == keys.shape[0]
+            assert np.array_equal(np.argsort(keys), np.argsort(ranks))
+
+    def test_rejects_non_unimodular(self):
+        prog = parse_program("for i = 1 to 4 { A[i] = 1 }")
+        with pytest.raises(ValueError):
+            _time_keys(prog, IntMatrix([[2]]))
+
+
+class TestPeakConcurrent:
+    @given(st.lists(st.tuples(st.integers(0, 40), st.integers(1, 30)),
+                    max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dense_sweep(self, raw):
+        starts = np.array([s for s, _ in raw], dtype=np.int64)
+        ends = np.array([s + d for s, d in raw], dtype=np.int64)
+        horizon = int(ends.max()) + 1 if raw else 1
+        dense = np.zeros(horizon + 1, dtype=np.int64)
+        np.add.at(dense, starts, 1)
+        np.add.at(dense, ends, -1)
+        expected = int(np.cumsum(dense[:-1]).max(initial=0))
+        assert _peak_concurrent(starts, ends) == expected
+
+    def test_empty(self):
+        empty = np.array([], dtype=np.int64)
+        assert _peak_concurrent(empty, empty) == 0
+
+
+class TestDenseBudget:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DENSE_BUDGET", raising=False)
+        assert dense_budget() == 2**26
+
+    def test_env_override_gates_enumeration(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DENSE_BUDGET", "10")
+        clear_iteration_cache()
+        prog = parse_program("for i = 1 to 20 { A[i] = 1 }")
+        with pytest.raises(ValueError, match="iterations"):
+            _iteration_matrix(prog)
+        monkeypatch.setenv("REPRO_DENSE_BUDGET", "20")
+        assert _iteration_matrix(prog).shape == (20, 1)
 
 
 class TestWindowDeltas:
