@@ -1,0 +1,62 @@
+"""Conformance subsystem: oracles, counterexample shrinking, fuzz runner.
+
+The permanent home for the cross-implementation equivalences and
+metamorphic relations that keep the estimation/window stack honest:
+
+* :mod:`repro.check.oracles` — the oracle registry.  Each oracle bundles
+  ``generate -> (transform) -> check`` over the random program generator
+  and reports a :class:`~repro.check.oracles.Violation` on failure.
+* :mod:`repro.check.shrink` — greedy minimization of a failing program
+  (drop statements/references, shrink trips/coefficients/offsets) while
+  the violated oracle keeps failing.
+* :mod:`repro.check.runner` — ``repro check``: fuzz all oracles under
+  seed/time budgets with per-case timeouts, shrink failures into
+  canonical JSON repros under ``tests/corpus/``, and report per-oracle
+  counters through :mod:`repro.obs.metrics`.
+
+Every corpus file is replayed as a deterministic regression case by
+``tests/test_corpus_replay.py``; see ``docs/testing.md``.
+"""
+
+from repro.check.oracles import (
+    ORACLES,
+    Oracle,
+    Violation,
+    all_oracles,
+    get_oracle,
+    oracle_names,
+    register,
+)
+from repro.check.runner import (
+    CheckReport,
+    ReproCase,
+    load_repro,
+    render_check_report,
+    replay_case,
+    replay_file,
+    run_check,
+    write_repro,
+)
+from repro.check.shrink import ShrinkResult, oracle_predicate, shrink, shrink_case
+
+__all__ = [
+    "ORACLES",
+    "Oracle",
+    "Violation",
+    "all_oracles",
+    "get_oracle",
+    "oracle_names",
+    "register",
+    "CheckReport",
+    "ReproCase",
+    "load_repro",
+    "render_check_report",
+    "replay_case",
+    "replay_file",
+    "run_check",
+    "write_repro",
+    "ShrinkResult",
+    "oracle_predicate",
+    "shrink",
+    "shrink_case",
+]

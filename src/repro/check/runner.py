@@ -1,0 +1,355 @@
+"""The ``repro check`` fuzz runner and the JSON counterexample corpus.
+
+``run_check`` drives every registered oracle over a seed range and/or a
+wall-clock budget with a per-case timeout, shrinks each failure with
+:mod:`repro.check.shrink`, and writes a canonical JSON repro into the
+corpus directory.  Counters flow through :mod:`repro.obs` /
+:mod:`repro.obs.metrics` (``check.cases``, ``check.<oracle>.violations``,
+…) so a ``--trace`` run reconciles like every other subsystem.
+
+A corpus file is a *fixed* bug: replaying it (``repro check --replay
+f.json`` or ``tests/test_corpus_replay.py``) asserts the oracle now
+passes on the minimized program, so reintroducing the bug fails the
+suite with the smallest known witness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import obs
+from repro.check.oracles import Oracle, Violation, all_oracles, get_oracle
+from repro.check.shrink import shrink_case
+from repro.ir import generate_source, parse_program
+from repro.ir.program import Program
+from repro.obs import metrics
+
+#: Corpus JSON schema version.
+SCHEMA = 1
+
+#: Default per-case wall-clock timeout (seconds).
+DEFAULT_CASE_TIMEOUT = 10.0
+
+#: Default seed count when neither ``seeds`` nor ``time_budget`` is given.
+DEFAULT_SEEDS = 100
+
+
+# ----------------------------------------------------------------------
+# corpus files
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReproCase:
+    """One corpus entry: a minimized program plus its oracle context."""
+
+    oracle: str
+    seed: int
+    source: str
+    detail: str
+    note: str = ""
+
+    @property
+    def program(self) -> Program:
+        return parse_program(self.source, name="repro")
+
+
+def _case_payload(case: ReproCase) -> dict:
+    return {
+        "schema": SCHEMA,
+        "oracle": case.oracle,
+        "seed": case.seed,
+        "source": case.source,
+        "detail": case.detail,
+        "note": case.note,
+    }
+
+
+def case_filename(case: ReproCase) -> str:
+    digest = hashlib.sha256(
+        f"{case.oracle}\n{case.seed}\n{case.source}".encode()
+    ).hexdigest()[:10]
+    return f"{case.oracle}--{digest}.json"
+
+
+def write_repro(
+    directory: Path | str,
+    oracle: str,
+    program: Program,
+    seed: int,
+    detail: str,
+    note: str = "",
+) -> Path:
+    """Serialize a minimized failing case into the corpus (canonical JSON)."""
+    case = ReproCase(
+        oracle=oracle,
+        seed=seed,
+        source=generate_source(program),
+        detail=detail,
+        note=note,
+    )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / case_filename(case)
+    path.write_text(
+        json.dumps(_case_payload(case), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_repro(path: Path | str) -> ReproCase:
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported corpus schema {data.get('schema')!r}"
+        )
+    return ReproCase(
+        oracle=data["oracle"],
+        seed=int(data["seed"]),
+        source=data["source"],
+        detail=data.get("detail", ""),
+        note=data.get("note", ""),
+    )
+
+
+def replay_case(case: ReproCase) -> Violation | None:
+    """Re-run the case's oracle on its minimized program."""
+    return get_oracle(case.oracle).check(case.program, case.seed)
+
+
+def replay_file(path: Path | str) -> Violation | None:
+    return replay_case(load_repro(path))
+
+
+# ----------------------------------------------------------------------
+# per-case timeout
+# ----------------------------------------------------------------------
+
+class CaseTimeout(Exception):
+    """A single fuzz case exceeded its wall-clock budget."""
+
+
+class _alarm:
+    """SIGALRM-based timeout; inert off the main thread / off POSIX."""
+
+    def __init__(self, seconds: float):
+        self.seconds = seconds
+        self.armed = (
+            seconds > 0
+            and hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        )
+
+    def __enter__(self) -> "_alarm":
+        if self.armed:
+            def _raise(signum, frame):
+                raise CaseTimeout()
+
+            self._previous = signal.signal(signal.SIGALRM, _raise)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+
+@dataclass
+class OracleStats:
+    """Per-oracle counters mirrored into :mod:`repro.obs.metrics`."""
+
+    name: str
+    kind: str
+    cases: int = 0
+    violations: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One shrunk counterexample produced during a run."""
+
+    oracle: str
+    seed: int
+    detail: str
+    statements: int
+    iterations: int
+    path: Path | None
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one ``run_check`` invocation."""
+
+    stats: dict[str, OracleStats] = field(default_factory=dict)
+    failures: list[CheckFailure] = field(default_factory=list)
+    errors: list[tuple[str, int, str]] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def cases(self) -> int:
+        return sum(s.cases for s in self.stats.values())
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.errors
+
+
+def _select_oracles(names) -> tuple[Oracle, ...]:
+    if not names:
+        return all_oracles()
+    return tuple(get_oracle(name) for name in names)
+
+
+def run_check(
+    oracle_names=None,
+    seeds: int | None = None,
+    time_budget: float | None = None,
+    base_seed: int = 0,
+    corpus_dir: Path | str | None = None,
+    case_timeout: float = DEFAULT_CASE_TIMEOUT,
+    do_shrink: bool = True,
+    note: str = "",
+) -> CheckReport:
+    """Fuzz the oracle registry; shrink and record every failure.
+
+    ``seeds`` bounds the seed range (``base_seed .. base_seed+seeds-1``),
+    ``time_budget`` bounds wall-clock seconds; with both, whichever runs
+    out first stops the run.  Counters are published through the active
+    observer (one is enabled for the duration if none is).
+    """
+    selected = _select_oracles(oracle_names)
+    if seeds is None and time_budget is None:
+        seeds = DEFAULT_SEEDS
+    report = CheckReport(
+        stats={o.name: OracleStats(o.name, o.kind) for o in selected}
+    )
+    own_observer = obs.get_observer() is None
+    if own_observer:
+        obs.enable()
+    started = time.perf_counter()
+
+    def out_of_budget() -> bool:
+        return (
+            time_budget is not None
+            and time.perf_counter() - started >= time_budget
+        )
+
+    try:
+        offset = 0
+        while not (seeds is not None and offset >= seeds) and not out_of_budget():
+            seed = base_seed + offset
+            for oracle in selected:
+                if out_of_budget():
+                    break
+                stat = report.stats[oracle.name]
+                case_start = time.perf_counter()
+                program = None
+                try:
+                    with _alarm(case_timeout):
+                        program = oracle.generate(seed)
+                        violation = oracle.check(program, seed)
+                except CaseTimeout:
+                    stat.timeouts += 1
+                    obs.counter("check.timeouts")
+                    obs.counter(f"check.{oracle.name}.timeouts")
+                    continue
+                except Exception as exc:
+                    stat.errors += 1
+                    obs.counter("check.errors")
+                    obs.counter(f"check.{oracle.name}.errors")
+                    report.errors.append(
+                        (oracle.name, seed, f"{type(exc).__name__}: {exc}")
+                    )
+                    continue
+                finally:
+                    duration = time.perf_counter() - case_start
+                    stat.cases += 1
+                    stat.seconds += duration
+                    obs.counter("check.cases")
+                    obs.counter(f"check.{oracle.name}.cases")
+                    metrics.observe("check.case_seconds", duration)
+                if violation is None:
+                    continue
+                stat.violations += 1
+                obs.counter("check.violations")
+                obs.counter(f"check.{oracle.name}.violations")
+                path = None
+                shrunk = program
+                detail = violation.detail
+                if do_shrink:
+                    result, violation = shrink_case(oracle, program, seed)
+                    shrunk = result.program
+                    detail = violation.detail
+                if corpus_dir is not None:
+                    path = write_repro(
+                        corpus_dir, oracle.name, shrunk, seed, detail,
+                        note=note or f"found by repro check at seed {seed}",
+                    )
+                report.failures.append(
+                    CheckFailure(
+                        oracle=oracle.name,
+                        seed=seed,
+                        detail=detail,
+                        statements=len(shrunk.statements),
+                        iterations=shrunk.nest.total_iterations,
+                        path=path,
+                    )
+                )
+            offset += 1
+    finally:
+        report.seconds = time.perf_counter() - started
+        for stat in report.stats.values():
+            metrics.gauge(f"check.{stat.name}.case_count", stat.cases)
+        if own_observer:
+            obs.disable()
+    return report
+
+
+def render_check_report(report: CheckReport) -> str:
+    """ASCII summary: one row per oracle, then shrunk failures."""
+    header = (
+        f"{'oracle':<34} {'kind':<12} {'cases':>6} {'viol':>5} "
+        f"{'err':>4} {'t/o':>4} {'secs':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for stat in report.stats.values():
+        lines.append(
+            f"{stat.name:<34} {stat.kind:<12} {stat.cases:>6} "
+            f"{stat.violations:>5} {stat.errors:>4} {stat.timeouts:>4} "
+            f"{stat.seconds:>7.2f}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{report.cases} cases in {report.seconds:.2f}s: "
+        f"{len(report.failures)} violation(s), {len(report.errors)} error(s)"
+    )
+    for failure in report.failures:
+        lines.append("")
+        lines.append(
+            f"FAIL {failure.oracle} seed {failure.seed} "
+            f"(shrunk to {failure.statements} statement(s), "
+            f"{failure.iterations} iteration(s)):"
+        )
+        lines.append(f"  {failure.detail.splitlines()[0]}")
+        if failure.path is not None:
+            lines.append(
+                f"  replay: PYTHONPATH=src python -m repro check "
+                f"--replay {failure.path}"
+            )
+    for name, seed, message in report.errors:
+        lines.append("")
+        lines.append(f"ERROR {name} seed {seed}: {message}")
+    return "\n".join(lines)

@@ -1,0 +1,255 @@
+"""Greedy counterexample minimization.
+
+Given a program that violates an oracle, shrink it while the violation
+persists (CUTE-style input reduction, restricted to the paper's model so
+every intermediate candidate is still a valid rectangular affine nest):
+
+1. drop whole statements,
+2. drop individual references (reads, then the write) from statements,
+3. shrink trip counts (to one iteration, halved, decremented),
+4. move offsets toward zero (zero, halved, stepped),
+5. move access-matrix coefficients toward zero.
+
+Every pass re-runs the violated oracle's ``check`` on the candidate with
+the original seed; a candidate is accepted only when the oracle still
+fails.  A candidate that *crashes* the oracle is rejected — the shrinker
+preserves the violation, it does not hunt for new ones.  Passes repeat
+until a fixpoint, so the result is 1-minimal with respect to the five
+operation families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.check.oracles import Oracle, Violation
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.program import Program
+from repro.ir.reference import ArrayRef
+from repro.ir.statement import Statement
+from repro.linalg import IntMatrix
+
+#: Safety valve on accepted reductions; generously above anything the
+#: small fuzz configs can produce.
+MAX_STEPS = 2000
+
+Predicate = Callable[[Program], bool]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one minimization."""
+
+    program: Program
+    steps: int  # accepted reductions
+    attempts: int  # candidates tried
+
+    @property
+    def statements(self) -> int:
+        return len(self.program.statements)
+
+    @property
+    def iterations(self) -> int:
+        return self.program.nest.total_iterations
+
+
+def oracle_predicate(oracle: Oracle, seed: int) -> Predicate:
+    """``True`` iff ``candidate`` still violates ``oracle`` at ``seed``.
+
+    Exceptions count as *not* violating: a reduction that turns the
+    original failure into a crash (singular access matrix, empty array)
+    changes the bug and is rejected.
+    """
+
+    def predicate(candidate: Program) -> bool:
+        try:
+            return oracle.check(candidate, seed) is not None
+        except Exception:
+            return False
+
+    return predicate
+
+
+def _with_statements(program: Program, statements: list[Statement]) -> Program:
+    return Program(
+        LoopNest(list(program.nest.loops)), statements, name=program.name
+    )
+
+
+def _with_upper(program: Program, level: int, upper: int) -> Program:
+    loops = list(program.nest.loops)
+    loops[level] = Loop(loops[level].index, loops[level].lower, upper)
+    return Program(LoopNest(loops), list(program.statements), name=program.name)
+
+
+def _drop_statement_candidates(program: Program) -> Iterator[Program]:
+    statements = list(program.statements)
+    if len(statements) <= 1:
+        return
+    for k in range(len(statements)):
+        yield _with_statements(program, statements[:k] + statements[k + 1:])
+
+
+def _drop_reference_candidates(program: Program) -> Iterator[Program]:
+    statements = list(program.statements)
+    for s, stmt in enumerate(statements):
+        if len(stmt.references) <= 1:
+            continue
+        for r in range(len(stmt.reads)):
+            reduced = Statement(
+                stmt.label, stmt.writes, stmt.reads[:r] + stmt.reads[r + 1:]
+            )
+            yield _with_statements(
+                program, statements[:s] + [reduced] + statements[s + 1:]
+            )
+        if stmt.writes and stmt.reads:
+            reduced = Statement(stmt.label, (), stmt.reads)
+            yield _with_statements(
+                program, statements[:s] + [reduced] + statements[s + 1:]
+            )
+
+
+def _trip_candidates(program: Program) -> Iterator[Program]:
+    for level, loop in enumerate(program.nest.loops):
+        span = loop.upper - loop.lower
+        if span <= 0:
+            continue
+        uppers = [loop.lower]
+        if span > 1:
+            uppers.append(loop.lower + span // 2)
+        uppers.append(loop.upper - 1)
+        seen: set[int] = set()
+        for upper in uppers:
+            if upper in seen:
+                continue
+            seen.add(upper)
+            yield _with_upper(program, level, upper)
+
+
+def _toward_zero(value: int) -> list[int]:
+    """Replacement attempts for one integer, most aggressive first."""
+    if value == 0:
+        return []
+    out = [0]
+    if abs(value) > 1:
+        out.append(value // 2 if value > 0 else -((-value) // 2))
+        out.append(value - 1 if value > 0 else value + 1)
+    return out
+
+
+def _ref_rewrite_candidates(
+    program: Program, rewrite: Callable[[ArrayRef], Iterator[ArrayRef]]
+) -> Iterator[Program]:
+    statements = list(program.statements)
+    for s, stmt in enumerate(statements):
+        refs = list(stmt.references)
+        for r, ref in enumerate(refs):
+            for replacement in rewrite(ref):
+                n_reads = len(stmt.reads)
+                if r < n_reads:
+                    reduced = Statement(
+                        stmt.label,
+                        stmt.writes,
+                        stmt.reads[:r] + (replacement,) + stmt.reads[r + 1:],
+                    )
+                else:
+                    w = r - n_reads
+                    reduced = Statement(
+                        stmt.label,
+                        stmt.writes[:w] + (replacement,) + stmt.writes[w + 1:],
+                        stmt.reads,
+                    )
+                yield _with_statements(
+                    program, statements[:s] + [reduced] + statements[s + 1:]
+                )
+
+
+def _offset_candidates(program: Program) -> Iterator[Program]:
+    def rewrite(ref: ArrayRef) -> Iterator[ArrayRef]:
+        for dim, value in enumerate(ref.offset):
+            for replacement in _toward_zero(value):
+                offset = list(ref.offset)
+                offset[dim] = replacement
+                yield ArrayRef(ref.array, ref.access, tuple(offset), ref.kind)
+
+    return _ref_rewrite_candidates(program, rewrite)
+
+
+def _coefficient_candidates(program: Program) -> Iterator[Program]:
+    def rewrite(ref: ArrayRef) -> Iterator[ArrayRef]:
+        rows = [list(row) for row in ref.access.rows]
+        for d in range(len(rows)):
+            for j in range(len(rows[d])):
+                for replacement in _toward_zero(rows[d][j]):
+                    new_rows = [list(row) for row in rows]
+                    new_rows[d][j] = replacement
+                    yield ArrayRef(
+                        ref.array, IntMatrix(new_rows), ref.offset, ref.kind
+                    )
+
+    return _ref_rewrite_candidates(program, rewrite)
+
+
+_PASSES = (
+    _drop_statement_candidates,
+    _drop_reference_candidates,
+    _trip_candidates,
+    _offset_candidates,
+    _coefficient_candidates,
+)
+
+
+def _normalize(program: Program, predicate: Predicate) -> Program:
+    """Canonical labels/name for the corpus; kept only if still failing."""
+    statements = [
+        Statement(f"S{k + 1}", stmt.writes, stmt.reads)
+        for k, stmt in enumerate(program.statements)
+    ]
+    candidate = Program(
+        LoopNest(list(program.nest.loops)), statements, name="repro"
+    )
+    return candidate if predicate(candidate) else program
+
+
+def shrink(
+    program: Program, predicate: Predicate, max_steps: int = MAX_STEPS
+) -> ShrinkResult:
+    """Greedy fixpoint minimization of ``program`` under ``predicate``.
+
+    ``predicate(candidate)`` must return ``True`` while the candidate
+    still exhibits the failure (see :func:`oracle_predicate`).  The input
+    program itself must satisfy it.
+    """
+    if not predicate(program):
+        raise ValueError("shrink() called on a program that does not fail")
+    current = program
+    steps = 0
+    attempts = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for make_candidates in _PASSES:
+            accepted = True
+            while accepted and steps < max_steps:
+                accepted = False
+                for candidate in make_candidates(current):
+                    attempts += 1
+                    if predicate(candidate):
+                        current = candidate
+                        steps += 1
+                        accepted = True
+                        progress = True
+                        break
+    return ShrinkResult(_normalize(current, predicate), steps, attempts)
+
+
+def shrink_case(
+    oracle: Oracle, program: Program, seed: int
+) -> tuple[ShrinkResult, Violation]:
+    """Minimize a failing fuzz case and return the surviving violation."""
+    result = shrink(program, oracle_predicate(oracle, seed))
+    violation = oracle.check(result.program, seed)
+    if violation is None:  # pragma: no cover - predicate guarantees failure
+        raise AssertionError("shrunk program stopped failing")
+    return result, violation

@@ -11,6 +11,8 @@
     python -m repro viz loop.txt            # reuse region / window profile art
     python -m repro figure2 [--kernel sor]  # regenerate the paper's table
     python -m repro bench --chunk-sweep     # streaming-engine chunk sweep
+    python -m repro check --seeds 500       # fuzz the conformance oracles
+    python -m repro check --replay f.json   # replay one corpus counterexample
 
 Global flags (before the subcommand):
 
@@ -270,6 +272,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import (
+        all_oracles,
+        render_check_report,
+        replay_file,
+        run_check,
+    )
+
+    if args.list:
+        for oracle in all_oracles():
+            print(f"{oracle.name:<34} {oracle.kind:<12} {oracle.paper}")
+        return 0
+    if args.replay:
+        violation = replay_file(args.replay)
+        if violation is None:
+            print(f"{args.replay}: PASS ({Path(args.replay).name})")
+            return 0
+        print(f"{args.replay}: FAIL {violation.oracle}")
+        print(violation.detail)
+        return 1
+    report = run_check(
+        oracle_names=args.oracle or None,
+        seeds=args.seeds,
+        time_budget=args.time_budget,
+        base_seed=args.base_seed,
+        corpus_dir=args.corpus,
+        case_timeout=args.timeout,
+        do_shrink=not args.no_shrink,
+    )
+    print(render_check_report(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_figure2(args: argparse.Namespace) -> int:
     from repro.kernels import KERNELS, kernel_by_name
     from repro.reporting import figure2_row, render_table
@@ -397,6 +432,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="artifact directory (default: benchmarks/artifacts)"
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "check",
+        help="fuzz the conformance oracles; shrink failures into the corpus",
+    )
+    p.add_argument(
+        "--seeds", type=int, metavar="N",
+        help="fuzz N seeds per oracle (default 100 unless --time-budget)",
+    )
+    p.add_argument(
+        "--time-budget", type=float, metavar="S",
+        help="stop after S wall-clock seconds (combines with --seeds)",
+    )
+    p.add_argument(
+        "--oracle", action="append", metavar="NAME",
+        help="restrict to one oracle (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--base-seed", type=int, default=0,
+        help="first seed of the fuzzed range (default 0)",
+    )
+    p.add_argument(
+        "--corpus", metavar="DIR",
+        help="write shrunk counterexamples into DIR (e.g. tests/corpus)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=10.0, metavar="S",
+        help="per-case wall-clock timeout in seconds (default 10)",
+    )
+    p.add_argument(
+        "--no-shrink", action="store_true",
+        help="record failures without minimizing them",
+    )
+    p.add_argument(
+        "--replay", metavar="FILE",
+        help="replay one corpus JSON file and exit (1 if it still fails)",
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list registered oracles and exit"
+    )
+    p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("figure2", help="regenerate the paper's results table")
     p.add_argument("--kernel", help="one kernel only (e.g. sor)")

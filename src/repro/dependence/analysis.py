@@ -261,35 +261,44 @@ def array_distance_vectors(
     return list(seen)
 
 
-def _endpoint_representative(
+def _endpoint_representatives(
     minimal: tuple[int, ...],
     kernel_vector: tuple[int, ...],
     spans: tuple[int, ...],
-) -> tuple[int, ...] | None:
-    """Largest in-bounds member of ``minimal + t * v`` (t >= 0).
+) -> tuple[tuple[int, ...], ...]:
+    """Extreme in-bounds members of ``minimal + t * v``, both directions.
 
     Legality must hold for *every* lex-positive in-bounds member of a
-    dependence family, not only the minimal one.  ``T (p + t v)`` is
+    dependence family, not only the canonical one.  ``T (p + t v)`` is
     lex-monotone in ``t``, so checking the two in-bounds endpoints is
-    sound; this returns the far endpoint (the minimal representative is
-    the near one).
+    sound — and both directions matter: the canonical representative
+    pins the kernel component to its smallest non-negative residue, so
+    when an earlier component is already positive the family extends to
+    *negative* ``t`` while staying lex-positive (e.g. ``(1, t)`` with
+    ``t in [-span, span]``).
     """
-    t_max: int | None = None
+    t_lo: int | None = None
+    t_hi: int | None = None
     for p, v, span in zip(minimal, kernel_vector, spans):
         if v == 0:
             if abs(p) > span:
-                return None
+                return ()
             continue
-        # |p + t v| <= span  =>  t in [(-span - p)/v, (span - p)/v] (v>0)
+        # |p + t v| <= span  =>  t*v in [-span - p, span - p]
         lo_num, hi_num = -span - p, span - p
         if v > 0:
-            hi = hi_num // v
+            lo, hi = -((-lo_num) // v), hi_num // v
         else:
-            hi = lo_num // v  # dividing by negative flips the interval
-        t_max = hi if t_max is None else min(t_max, hi)
-    if t_max is None or t_max <= 0:
-        return None
-    return tuple(p + t_max * v for p, v in zip(minimal, kernel_vector))
+            lo, hi = -((-hi_num) // v), lo_num // v
+        t_lo = lo if t_lo is None else max(t_lo, lo)
+        t_hi = hi if t_hi is None else min(t_hi, hi)
+    if t_lo is None or t_hi is None or t_lo > t_hi:
+        return ()
+    return tuple(
+        tuple(p + t * v for p, v in zip(minimal, kernel_vector))
+        for t in {t_lo, t_hi}
+        if t != 0
+    )
 
 
 def array_dependences(
@@ -297,10 +306,11 @@ def array_dependences(
 ) -> list[Dependence]:
     """All constant-distance dependences for one array (uniform refs only).
 
-    For dependence families with a kernel direction, both the minimal
-    lex-positive representative and the farthest in-bounds member are
-    emitted, so transformation-legality checks over the returned set are
-    sound (lex order along the family line is monotone).
+    For dependence families with a kernel direction, the canonical
+    representative plus the extreme in-bounds members in *both* family
+    directions are emitted, so transformation-legality checks over the
+    returned set are sound (lex order along the family line is
+    monotone).
     """
     refs = program.refs_to(array)
     if not refs:
@@ -329,9 +339,9 @@ def array_dependences(
         emit(src, dst, minimal)
         kernel = integer_nullspace(src.access)
         if len(kernel) == 1:
-            far = _endpoint_representative(minimal, kernel[0], spans)
-            if far is not None and far != minimal:
-                emit(src, dst, far)
+            for member in _endpoint_representatives(minimal, kernel[0], spans):
+                if member != minimal and is_lex_positive(member):
+                    emit(src, dst, member)
 
     for ref in refs:
         d = self_reuse_distance(ref)

@@ -17,7 +17,13 @@ from repro.ir.program import Program
 
 @dataclass(frozen=True)
 class GeneratorConfig:
-    """Dials for the random program generator."""
+    """Dials for the random program generator.
+
+    Invalid dial combinations are rejected eagerly: a ``max_coeff`` or
+    ``array_rank`` of zero would spin :func:`random_program` forever
+    looking for a nonzero access row, and a negative trip range would
+    crash ``random.randint`` mid-generation with a confusing message.
+    """
 
     depth: int = 2
     min_trip: int = 3
@@ -28,6 +34,27 @@ class GeneratorConfig:
     array_rank: int | None = None  # None: random in [1, depth]
     uniform_only: bool = True
     allow_writes: bool = True
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"depth must be >= 1, got {self.depth}")
+        if self.min_trip < 1 or self.max_trip < self.min_trip:
+            raise ValueError(
+                f"need 1 <= min_trip <= max_trip, got "
+                f"[{self.min_trip}, {self.max_trip}]"
+            )
+        if self.max_statements < 1:
+            raise ValueError(
+                f"max_statements must be >= 1, got {self.max_statements}"
+            )
+        if self.max_coeff < 1:
+            raise ValueError(f"max_coeff must be >= 1, got {self.max_coeff}")
+        if self.max_offset < 0:
+            raise ValueError(f"max_offset must be >= 0, got {self.max_offset}")
+        if self.array_rank is not None and self.array_rank < 1:
+            raise ValueError(
+                f"array_rank must be None or >= 1, got {self.array_rank}"
+            )
 
 
 def random_program(seed: int, config: GeneratorConfig | None = None) -> Program:
@@ -79,7 +106,32 @@ def random_program(seed: int, config: GeneratorConfig | None = None) -> Program:
             builder.statement(f"S{s + 1}", write=(name, access, offset), reads=read_specs)
         else:
             builder.use(f"S{s + 1}", *read_specs)
-    return builder.build()
+    program = builder.build()
+    _validate_ranks(program, seed, {name: rank for name, rank, _ in arrays})
+    return program
+
+
+def _validate_ranks(
+    program: Program, seed: int, declared: dict[str, int]
+) -> None:
+    """Reject a generated program whose references disagree on rank.
+
+    Ranks are pinned per array when the array table is drawn, and
+    non-uniform mode redraws only the matrix entries — never the rank —
+    so every reference must match the pinned rank.  This check makes the
+    invariant explicit at generation time with a seed-bearing error
+    instead of an eventual :class:`Program` validation failure deep in
+    an analysis.
+    """
+    for stmt in program.statements:
+        for ref in stmt.references:
+            want = declared.get(ref.array)
+            if want is not None and ref.rank != want:
+                raise ValueError(
+                    f"random_program(seed={seed}): array {ref.array} "
+                    f"generated with rank {ref.rank} in {stmt.label} but "
+                    f"declared rank {want}"
+                )
 
 
 def random_uniform_program(seed: int, depth: int = 2) -> Program:

@@ -1,0 +1,90 @@
+"""Shared fuzzing fixtures: one seed source for every randomized test.
+
+All randomized tests derive their seeds from ``FUZZ_SEED`` (the
+``REPRO_FUZZ_SEED`` environment variable, default 0) so a failing CI run
+is reproduced locally by exporting the same value.  Hypothesis-based
+tests run under a derandomized profile for the same reason.
+
+When a fuzz assertion fails, :func:`assert_oracle` shrinks the failing
+program and writes a corpus-format JSON repro; the assertion message
+prints the exact ``repro check --replay`` command for it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Base seed for every randomized test, overridable for bisection:
+#: ``REPRO_FUZZ_SEED=17 pytest tests/test_properties_deep.py``.
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+
+try:  # optional; the suite must run without hypothesis installed
+    from hypothesis import settings
+
+    settings.register_profile(
+        "repro", derandomize=True, deadline=None, database=None
+    )
+    settings.load_profile("repro")
+except ImportError:  # pragma: no cover
+    pass
+
+
+def fuzz_seeds(count: int, salt: int = 0) -> list[int]:
+    """``count`` deterministic seeds derived from ``FUZZ_SEED``.
+
+    ``salt`` decorrelates call sites so two tests asking for 20 seeds
+    don't fuzz the identical programs.
+    """
+    base = FUZZ_SEED * 1_000_003 + salt * 7919
+    return [base + k for k in range(count)]
+
+
+@pytest.fixture
+def fuzz_seed() -> int:
+    return FUZZ_SEED
+
+
+def _repro_dir(tmp_fallback: Path | None = None) -> Path:
+    override = os.environ.get("REPRO_CORPUS_DIR")
+    if override:
+        return Path(override)
+    if os.environ.get("REPRO_WRITE_CORPUS") == "1":
+        return Path(__file__).parent / "corpus"
+    return tmp_fallback or Path(".pytest-repros")
+
+
+def oracle_failure_message(oracle_name: str, path: Path, detail: str) -> str:
+    return (
+        f"oracle {oracle_name} violated: {detail}\n"
+        f"shrunk repro written to {path}\n"
+        f"replay with: PYTHONPATH=src python -m repro check --replay {path}"
+    )
+
+
+def assert_oracle(oracle_name: str, seed: int, tmp_path: Path | None = None) -> None:
+    """Run one oracle case; on violation, shrink, persist, and fail.
+
+    The pytest failure message contains the ``repro check --replay``
+    command for the shrunk counterexample, so a red fuzz test is
+    immediately actionable.
+    """
+    from repro.check import get_oracle, shrink_case, write_repro
+
+    oracle = get_oracle(oracle_name)
+    program = oracle.generate(seed)
+    violation = oracle.check(program, seed)
+    if violation is None:
+        return
+    result, violation = shrink_case(oracle, program, seed)
+    path = write_repro(
+        _repro_dir(tmp_path),
+        oracle.name,
+        result.program,
+        seed,
+        violation.detail,
+        note=f"shrunk from pytest seed {seed} (REPRO_FUZZ_SEED={FUZZ_SEED})",
+    )
+    pytest.fail(oracle_failure_message(oracle.name, path, violation.detail))

@@ -1,0 +1,108 @@
+"""Regenerate the seeded regression corpus (idempotent).
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/corpus/regenerate.py
+
+Each entry is a *fixed* bug or a hand-minimized conformance pin: the
+corpus replay test asserts every file passes its oracle, so
+reintroducing one of these bugs turns the replay red with the smallest
+known witness.  New entries normally arrive via ``repro check --corpus
+tests/corpus`` on a failing run; this script only rebuilds the curated
+seeds (stale files for the same oracle+program hash are overwritten in
+place, renamed sources produce new files).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.check.runner import replay_file, write_repro  # noqa: E402
+from repro.ir import parse_program  # noqa: E402
+
+CORPUS = Path(__file__).resolve().parent
+
+SEEDS = [
+    dict(
+        oracle="estimate-brackets-exact",
+        seed=0,
+        source=(
+            "for i1 = 1 to 2 { for i2 = 1 to 2 { A0[i1][i2] = A0[i1][i2] } }"
+        ),
+        detail=(
+            "PR-3 d==n offset-dedup bug: duplicate-offset references "
+            "inflated r in r*total - reuse while contributing no reuse "
+            "distance, so the formula claimed A_d = 8 'exactly' where "
+            "enumeration counts 4.  Fixed by collapsing duplicate offsets "
+            "before counting r (estimation/distinct.py)."
+        ),
+        note="minimized witness of the PR-3 exactness bug",
+    ),
+    dict(
+        oracle="permutation-preserves-semantics",
+        seed=182141,
+        source="for i1 = 1 to 2 { for i2 = 1 to 2 { A0[2*i1] = A0[2*i1 + 2] } }",
+        detail=(
+            "PR-4 legality bug: for a singular access row [2, 0] the "
+            "anti-dependence family is (1, t); the canonical "
+            "representative pinned t to 0 and the endpoint walk only went "
+            "in the +t direction, so the in-bounds member (1, -1) was "
+            "never emitted and loop interchange was declared legal while "
+            "changing execution results.  Fixed by emitting both extreme "
+            "in-bounds family members (dependence/analysis.py)."
+        ),
+        note="shrunk by repro check from fuzz seed 182141",
+    ),
+    dict(
+        oracle="nonuniform-bounds-bracket",
+        seed=0,
+        source="for i1 = 1 to 6 { for i2 = 1 to 4 { A0[2*i1] = A0[i1 + i2] } }",
+        detail=(
+            "Section 3.2 interval-bound pin: non-uniform 1-D references "
+            "(stride-2 write vs. skewed read) where the true union count "
+            "must stay below UB_max - LB_min + 1."
+        ),
+        note="conformance pin for the non-uniform bounds path",
+    ),
+    dict(
+        oracle="engines-agree-2d",
+        seed=0,
+        source=(
+            "for i1 = 1 to 6 { for i2 = 1 to 6 { "
+            "A0[i1 + i2] = A0[i1 + i2 + 1] + A0[i1 + i2 + 2] } }"
+        ),
+        detail=(
+            "Cross-engine pin: the diagonal stencil whose windows the "
+            "streaming engine chunks; all four engines must agree on it "
+            "natively and under the seed-derived transformed order."
+        ),
+        note="conformance pin for the four window engines",
+    ),
+]
+
+
+def main() -> int:
+    failures = 0
+    for entry in SEEDS:
+        program = parse_program(entry["source"], name="repro")
+        path = write_repro(
+            CORPUS,
+            entry["oracle"],
+            program,
+            entry["seed"],
+            entry["detail"],
+            note=entry["note"],
+        )
+        violation = replay_file(path)
+        status = "PASS" if violation is None else f"FAIL ({violation.detail})"
+        print(f"{path.name}: {status}")
+        if violation is not None:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

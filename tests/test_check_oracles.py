@@ -1,0 +1,166 @@
+"""Tests for the oracle registry itself: shape, helper soundness, and a
+green sweep of every oracle over a deterministic seed range."""
+
+import pytest
+
+from repro.check import ORACLES, all_oracles, get_oracle, oracle_names
+from repro.check.oracles import (
+    Oracle,
+    extend_outermost,
+    register,
+    relabel_signed_permutation,
+    translate_offsets,
+)
+from repro.estimation import exact_distinct_accesses
+from repro.ir import parse_program
+from repro.ir.generate import GeneratorConfig, random_program
+from repro.window import max_window_size
+
+from tests.conftest import assert_oracle, fuzz_seeds
+
+EXAMPLE = parse_program(
+    "for i = 1 to 4 { for j = 2 to 5 { A[i + j] = A[i + j + 1] + B[i][j] } }",
+    name="example",
+)
+
+
+class TestRegistryShape:
+    def test_minimum_oracle_counts(self):
+        """The acceptance floor: >= 8 oracles, >= 4 of each kind."""
+        oracles = all_oracles()
+        assert len(oracles) >= 8
+        assert sum(1 for o in oracles if o.kind == "cross") >= 4
+        assert sum(1 for o in oracles if o.kind == "metamorphic") >= 4
+
+    def test_every_oracle_documents_its_paper_argument(self):
+        for oracle in all_oracles():
+            assert oracle.paper, oracle.name
+            assert oracle.name
+            assert oracle.kind in ("cross", "metamorphic")
+
+    def test_names_are_unique_and_ordered(self):
+        names = oracle_names()
+        assert len(names) == len(set(names))
+        assert list(names) == [o.name for o in all_oracles()]
+
+    def test_get_oracle_unknown_name(self):
+        with pytest.raises(KeyError, match="registered:"):
+            get_oracle("no-such-oracle")
+
+    def test_register_rejects_bad_classes(self):
+        class Nameless(Oracle):
+            name = ""
+
+        with pytest.raises(ValueError, match="no name"):
+            register(Nameless)
+
+        class BadKind(Oracle):
+            name = "bad-kind-oracle"
+            kind = "vibes"
+
+        with pytest.raises(ValueError, match="unknown kind"):
+            register(BadKind)
+
+        duplicate = type(
+            "Duplicate", (Oracle,), {"name": next(iter(ORACLES)), "kind": "cross"}
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            register(duplicate)
+
+    def test_run_is_generate_then_check(self):
+        oracle = get_oracle("estimate-brackets-exact")
+        assert oracle.run(3) == oracle.check(oracle.generate(3), 3)
+
+
+class TestRewritingHelpers:
+    def test_relabel_identity_is_rename_only(self):
+        relabeled = relabel_signed_permutation(EXAMPLE, (0, 1), (1, 1))
+        assert [l.index for l in relabeled.nest.loops] == ["u1", "u2"]
+        for array in EXAMPLE.arrays:
+            assert exact_distinct_accesses(EXAMPLE, array) == exact_distinct_accesses(
+                relabeled, array
+            )
+
+    def test_relabel_reversal_preserves_touched_set(self):
+        relabeled = relabel_signed_permutation(EXAMPLE, (1, 0), (-1, 1))
+        for array in EXAMPLE.arrays:
+            original = {
+                ref.element(p)
+                for p in EXAMPLE.nest.iterate()
+                for ref in EXAMPLE.refs_to(array)
+            }
+            mapped = {
+                ref.element(p)
+                for p in relabeled.nest.iterate()
+                for ref in relabeled.refs_to(array)
+            }
+            assert original == mapped
+
+    def test_relabel_box_is_permuted_rectangle(self):
+        relabeled = relabel_signed_permutation(EXAMPLE, (1, 0), (-1, -1))
+        assert [(l.lower, l.upper) for l in relabeled.nest.loops] == [(2, 5), (1, 4)]
+
+    def test_relabel_rejects_bad_permutation(self):
+        with pytest.raises(ValueError):
+            relabel_signed_permutation(EXAMPLE, (0, 0), (1, 1))
+        with pytest.raises(ValueError):
+            relabel_signed_permutation(EXAMPLE, (0, 1), (1,))
+
+    def test_translate_offsets_shifts_only_named_arrays(self):
+        shifted = translate_offsets(EXAMPLE, {"A": (3,)})
+        for stmt0, stmt1 in zip(EXAMPLE.statements, shifted.statements):
+            for r0, r1 in zip(stmt0.references, stmt1.references):
+                if r0.array == "A":
+                    assert r1.offset == tuple(o + 3 for o in r0.offset)
+                else:
+                    assert r1.offset == r0.offset
+        assert max_window_size(EXAMPLE, "A") == max_window_size(shifted, "A")
+
+    def test_extend_outermost_prefix(self):
+        extended = extend_outermost(EXAMPLE, 2)
+        assert extended.nest.loops[0].upper == EXAMPLE.nest.loops[0].upper + 2
+        assert extended.nest.loops[1] == EXAMPLE.nest.loops[1]
+        for array in EXAMPLE.arrays:
+            assert max_window_size(extended, array) >= max_window_size(EXAMPLE, array)
+
+    def test_extend_outermost_rejects_negative(self):
+        with pytest.raises(ValueError):
+            extend_outermost(EXAMPLE, -1)
+
+
+def _sweep_cases():
+    # Modest per-oracle seed counts: the full 500-seed sweep is the CLI
+    # gate (`repro check --seeds 500`); this keeps the suite green and
+    # every oracle exercised on every pytest run.
+    import zlib
+
+    for oracle in all_oracles():
+        budget = 4 if "3d" in oracle.name else 12
+        # crc32, not hash(): the salt must survive PYTHONHASHSEED.
+        for seed in fuzz_seeds(budget, salt=zlib.crc32(oracle.name.encode()) % 1000):
+            yield pytest.param(oracle.name, seed, id=f"{oracle.name}-{seed}")
+
+
+@pytest.mark.parametrize("name,seed", list(_sweep_cases()))
+def test_oracle_sweep(name, seed, tmp_path):
+    assert_oracle(name, seed, tmp_path)
+
+
+class TestOracleSelfChecks:
+    def test_violation_str_names_oracle(self):
+        oracle = get_oracle("engines-agree-2d")
+        violation = oracle.fail("engines disagree", EXAMPLE)
+        assert str(violation).startswith("[engines-agree-2d]")
+        assert "for i = 1 to 4" in violation.detail
+
+    def test_checks_are_deterministic(self):
+        """The shrinker contract: check(program, seed) is a pure function."""
+        for oracle in all_oracles():
+            program = oracle.generate(5)
+            assert oracle.check(program, 5) == oracle.check(program, 5)
+
+    def test_generator_configs_valid(self):
+        for oracle in all_oracles():
+            assert isinstance(oracle.config, GeneratorConfig)
+            program = oracle.generate(0)
+            assert program.nest.total_iterations > 0

@@ -1,0 +1,177 @@
+"""Runner and CLI tests for ``repro check``: budgets, corpus writes,
+timeouts, metrics counters, and the replay/list entry points."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.check import get_oracle, load_repro, run_check, write_repro
+from repro.check.oracles import Oracle
+from repro.check.runner import (
+    CaseTimeout,
+    _alarm,
+    case_filename,
+    render_check_report,
+    replay_file,
+)
+from repro.cli import main
+from repro.ir import parse_program
+
+
+class _AlwaysFails(Oracle):
+    name = "test-always-fails"
+    kind = "cross"
+    paper = "test double"
+
+    def check(self, program, seed=0):
+        return self.fail("synthetic violation", program)
+
+
+class _AlwaysErrors(Oracle):
+    name = "test-always-errors"
+    kind = "cross"
+    paper = "test double"
+
+    def check(self, program, seed=0):
+        raise RuntimeError("synthetic error")
+
+
+@pytest.fixture
+def fake_oracles(monkeypatch):
+    from repro.check import oracles as oracle_module
+
+    fakes = {o.name: o for o in (_AlwaysFails(), _AlwaysErrors())}
+    monkeypatch.setattr(oracle_module, "ORACLES", {**oracle_module.ORACLES, **fakes})
+    return fakes
+
+
+class TestRunCheck:
+    def test_seed_budget_counts_cases(self):
+        report = run_check(["estimate-brackets-exact"], seeds=7)
+        assert report.cases == 7
+        assert report.ok
+        assert report.stats["estimate-brackets-exact"].violations == 0
+
+    def test_time_budget_stops(self):
+        report = run_check(["estimate-brackets-exact"], time_budget=0.2)
+        assert report.seconds < 5
+        assert report.cases >= 1
+
+    def test_base_seed_offsets_range(self):
+        a = run_check(["engines-agree-2d"], seeds=2, base_seed=100)
+        assert a.cases == 2
+        assert a.ok
+
+    def test_violations_shrink_and_write_corpus(self, fake_oracles, tmp_path):
+        report = run_check(["test-always-fails"], seeds=2, corpus_dir=tmp_path)
+        assert not report.ok
+        assert len(report.failures) == 2
+        for failure in report.failures:
+            assert failure.statements == 1  # shrinker ran
+            assert failure.path is not None and failure.path.exists()
+            case = load_repro(failure.path)
+            assert case.oracle == "test-always-fails"
+        rendered = render_check_report(report)
+        assert "--replay" in rendered
+        assert "FAIL test-always-fails" in rendered
+
+    def test_no_shrink_flag(self, fake_oracles):
+        report = run_check(["test-always-fails"], seeds=1, do_shrink=False)
+        assert not report.ok
+        # Without shrinking the failure keeps the generated program.
+        generated = get_oracle("test-always-fails").generate(0)
+        assert report.failures[0].statements == len(generated.statements)
+
+    def test_errors_are_isolated(self, fake_oracles):
+        report = run_check(
+            ["test-always-errors", "estimate-brackets-exact"], seeds=3
+        )
+        assert report.stats["test-always-errors"].errors == 3
+        assert report.stats["estimate-brackets-exact"].cases == 3
+        assert ("test-always-errors", 0) == report.errors[0][:2]
+        assert "RuntimeError" in report.errors[0][2]
+        assert "ERROR test-always-errors" in render_check_report(report)
+
+    def test_counters_flow_through_obs(self):
+        observer = obs.enable()
+        try:
+            run_check(["estimate-brackets-exact"], seeds=4)
+            counters = observer.counters
+            assert counters["check.cases"] >= 4
+            assert counters["check.estimate-brackets-exact.cases"] >= 4
+        finally:
+            obs.disable()
+
+    def test_unknown_oracle_raises(self):
+        with pytest.raises(KeyError):
+            run_check(["no-such-oracle"], seeds=1)
+
+
+class TestAlarm:
+    def test_alarm_interrupts(self):
+        with pytest.raises(CaseTimeout):
+            with _alarm(0.05):
+                while True:
+                    pass
+
+    def test_alarm_disarmed_for_zero(self):
+        with _alarm(0):
+            pass
+
+
+class TestCorpusFiles:
+    def test_write_is_canonical_and_stable(self, tmp_path):
+        program = parse_program("for i = 1 to 3 { A[i] = A[i + 1] }", name="repro")
+        p1 = write_repro(tmp_path, "engines-agree-2d", program, 5, "detail")
+        p2 = write_repro(tmp_path, "engines-agree-2d", program, 5, "detail")
+        assert p1 == p2  # same content-hash filename, overwritten in place
+        data = json.loads(p1.read_text())
+        assert list(data) == sorted(data)
+        assert data["schema"] == 1
+        assert p1.name == case_filename(load_repro(p1))
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": 99}))
+        with pytest.raises(ValueError, match="schema"):
+            load_repro(bad)
+
+    def test_replay_file_roundtrip(self, tmp_path):
+        program = parse_program(
+            "for i1 = 1 to 3 { for i2 = 1 to 3 { A0[i1][i2] = A0[i1 - 1][i2] } }",
+            name="repro",
+        )
+        path = write_repro(tmp_path, "estimate-brackets-exact", program, 0, "pin")
+        assert replay_file(path) is None
+
+
+class TestCheckCli:
+    def test_list(self, capsys):
+        assert main(["check", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "estimate-brackets-exact" in out
+        assert "metamorphic" in out
+
+    def test_seeds_run_green(self, capsys):
+        rc = main(["check", "--seeds", "2", "--oracle", "trip-extension-monotone"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_replay_pass_and_fail(self, tmp_path, capsys):
+        program = parse_program("for i = 1 to 3 { A[i] = A[i + 1] }", name="repro")
+        path = write_repro(tmp_path, "estimate-brackets-exact", program, 0, "pin")
+        assert main(["check", "--replay", str(path)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_replay_missing_file_errors(self, capsys):
+        assert main(["check", "--replay", "does-not-exist.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_time_budget_smoke(self, capsys):
+        rc = main(
+            ["check", "--time-budget", "2", "--oracle", "estimate-brackets-exact"]
+        )
+        assert rc == 0
+        assert "cases in" in capsys.readouterr().out

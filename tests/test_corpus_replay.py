@@ -1,0 +1,52 @@
+"""Replay every checked-in corpus counterexample.
+
+Each ``tests/corpus/*.json`` file is a shrunk witness of a bug that was
+fixed (or a hand-minimized conformance pin); its oracle must pass on it
+now.  A failure here means a previously fixed bug is back — the
+assertion message carries the exact ``repro check --replay`` command.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import load_repro, replay_case
+
+CORPUS = Path(__file__).parent / "corpus"
+FILES = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_seeded():
+    """The curated seeds must exist (see corpus/regenerate.py)."""
+    assert len(FILES) >= 2
+    assert any(f.name.startswith("estimate-brackets-exact--") for f in FILES), (
+        "the PR-3 d==n offset-dedup witness is missing from tests/corpus"
+    )
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+def test_corpus_file_replays_green(path):
+    case = load_repro(path)
+    assert case.oracle, path
+    assert case.detail, f"{path}: corpus entries must document their bug"
+    violation = replay_case(case)
+    assert violation is None, (
+        f"regression: fixed bug is back.\n"
+        f"oracle {case.oracle} fails again on {path.name}:\n"
+        f"{violation.detail}\n"
+        f"replay with: PYTHONPATH=src python -m repro check --replay {path}"
+    )
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+def test_corpus_file_is_canonical(path):
+    """Files round-trip byte-identically (sorted keys, no timestamps), so
+    regeneration never churns the checked-in corpus."""
+    import json
+
+    from repro.check.runner import case_filename, load_repro
+
+    data = json.loads(path.read_text())
+    canonical = json.dumps(data, indent=2, sort_keys=True) + "\n"
+    assert path.read_text() == canonical
+    assert path.name == case_filename(load_repro(path))

@@ -1,162 +1,75 @@
-"""Differential-testing harness for the three window implementations.
+"""Differential window testing, re-expressed over the oracle registry.
 
-Randomized programs (bounded depth/trips, seeded — deterministic in CI)
-must produce the *same* MWS from:
+The cross-engine agreement and paper-invariant checks now live in
+:mod:`repro.check.oracles` (``engines-agree-2d/-3d``,
+``mws-bounded-by-distinct``, ``offset-translation-invariance``); this
+module drives those oracles over a deterministic seed range via
+:func:`tests.conftest.assert_oracle`, so a failure shrinks itself and
+prints a ``repro check --replay`` command.
 
-* ``repro.window.simulator`` — the pure-Python event-dict sweep,
-* ``repro.window.fast`` — the vectorized numpy engine,
-* ``repro.window.zhao_malik.max_window_size_zhao_malik`` — the sorted
-  two-pointer interval sweep,
+Checks with no oracle counterpart (touched-multiset preservation,
+read-only def-use domination) remain as direct property tests.
 
-under both the native iteration order and transformed orders (legal
-signed permutations and random bounded unimodular matrices) — the
-transformed-order paths the per-example equality tests skip.
-
-Alongside the differential checks, the paper's invariants as property
-tests:
-
-* MWS <= number of distinct elements touched (``A_d``),
-* MWS is invariant under access-preserving relabeling (array renames,
-  statement relabeling, global offset translation),
-* a unimodular transformation preserves the multiset of touched
-  elements.
-
-Case count: ``REPRO_DIFF_CASES`` (default 200) seeds spread over 2-deep
-and 3-deep generator configurations; CI quick mode runs the default.
+Case count: ``REPRO_DIFF_CASES`` (default 200) seeds, spread over the
+oracles; the base seed honors ``REPRO_FUZZ_SEED``.
 """
 
 from __future__ import annotations
 
 import os
-import random
 
 import pytest
 
-from repro.ir import NestBuilder
-from repro.ir.generate import GeneratorConfig, random_program
-from repro.ir.program import Program
-from repro.linalg import IntMatrix
-from repro.transform.elementary import (
-    bounded_unimodular_matrices,
-    signed_permutations,
-)
-from repro.window.fast import max_window_size_fast
-from repro.window.simulator import max_window_size_reference
-from repro.window.zhao_malik import def_use_peak, max_window_size_zhao_malik
+from tests.conftest import assert_oracle, fuzz_seeds
 
 DIFF_CASES = int(os.environ.get("REPRO_DIFF_CASES", "200"))
 
-# Half the budget on 2-deep nests, half on 3-deep; trips stay small so a
-# case simulates in milliseconds and the full run fits CI quick mode.
-_CONFIGS = {
-    2: GeneratorConfig(depth=2, min_trip=2, max_trip=6, max_coeff=3),
-    3: GeneratorConfig(depth=3, min_trip=2, max_trip=4, max_coeff=2),
-}
-CASES = [
-    (depth, seed)
-    for depth in (2, 3)
-    for seed in range(DIFF_CASES // 2)
-]
+_PER_ORACLE = max(1, DIFF_CASES // 4)
 
 
-def _program(depth: int, seed: int) -> Program:
-    return random_program(seed, _CONFIGS[depth])
+@pytest.mark.parametrize("seed", fuzz_seeds(_PER_ORACLE, salt=1))
+def test_engines_agree_2d(seed, tmp_path):
+    assert_oracle("engines-agree-2d", seed, tmp_path)
 
 
-def _some_transformation(program: Program, seed: int) -> IntMatrix:
-    """A deterministic pseudo-random unimodular transformation.
-
-    Drawn from signed permutations plus (for 2-deep nests) skewed
-    bounded unimodular matrices, so the transformed-order code paths of
-    all three implementations get exercised with non-trivial orders —
-    legality is irrelevant for the differential check (any unimodular
-    reordering must still agree across implementations).
-    """
-    rng = random.Random(seed * 7919 + program.nest.depth)
-    pool = list(signed_permutations(program.nest.depth))
-    if program.nest.depth == 2:
-        pool.extend(
-            t for t in bounded_unimodular_matrices(2, 1) if not t.is_identity()
-        )
-    return pool[rng.randrange(len(pool))]
+@pytest.mark.parametrize("seed", fuzz_seeds(_PER_ORACLE, salt=2))
+def test_engines_agree_3d(seed, tmp_path):
+    assert_oracle("engines-agree-3d", seed, tmp_path)
 
 
-@pytest.mark.parametrize("depth,seed", CASES)
-def test_three_implementations_agree(depth, seed):
-    program = _program(depth, seed)
-    t = _some_transformation(program, seed)
-    for array in program.arrays:
-        for transformation in (None, t):
-            reference = max_window_size_reference(program, array, transformation)
-            fast = max_window_size_fast(program, array, transformation)
-            zm = max_window_size_zhao_malik(program, array, transformation)
-            assert reference == fast == zm, (
-                f"seed={seed} depth={depth} array={array} "
-                f"T={None if transformation is None else transformation.rows}: "
-                f"reference={reference} fast={fast} zhao_malik={zm}\n{program}"
-            )
+@pytest.mark.parametrize("seed", fuzz_seeds(_PER_ORACLE // 2, salt=3))
+def test_mws_bounded_by_distinct(seed, tmp_path):
+    assert_oracle("mws-bounded-by-distinct", seed, tmp_path)
 
 
-@pytest.mark.parametrize("depth,seed", CASES[::4])
-def test_mws_bounded_by_distinct_elements(depth, seed):
-    """Paper invariant: the window can never hold more than A_d elements."""
-    from repro.estimation.exact import exact_distinct_accesses
-
-    program = _program(depth, seed)
-    for array in program.arrays:
-        mws = max_window_size_fast(program, array)
-        distinct = exact_distinct_accesses(program, array)
-        assert mws <= distinct
+@pytest.mark.parametrize("seed", fuzz_seeds(_PER_ORACLE // 2, salt=4))
+def test_offset_translation_invariance(seed, tmp_path):
+    assert_oracle("offset-translation-invariance", seed, tmp_path)
 
 
-@pytest.mark.parametrize("depth,seed", CASES[::4])
-def test_mws_invariant_under_relabeling(depth, seed):
-    """Renaming arrays/statements and translating every offset by a
-    constant preserve the access pattern, hence the MWS."""
-    program = _program(depth, seed)
-    arrays = program.arrays
-    shift = {name: 3 + k for k, name in enumerate(arrays)}
-
-    builder = NestBuilder("relabeled")
-    for loop in program.nest.loops:
-        builder.loop(f"r_{loop.index}", loop.lower, loop.upper)
-    for si, stmt in enumerate(program.statements):
-        reads = [
-            (
-                f"{ref.array}_renamed",
-                ref.access.to_lists(),
-                [o + shift[ref.array] for o in ref.offset],
-            )
-            for ref in stmt.references
-            if not ref.is_write
-        ]
-        writes = [
-            (
-                f"{ref.array}_renamed",
-                ref.access.to_lists(),
-                [o + shift[ref.array] for o in ref.offset],
-            )
-            for ref in stmt.references
-            if ref.is_write
-        ]
-        if writes:
-            builder.statement(f"R{si}", write=writes[0], reads=reads)
-        else:
-            builder.use(f"R{si}", *reads)
-    relabeled = builder.build()
-
-    for array in arrays:
-        original = max_window_size_fast(program, array)
-        renamed = max_window_size_fast(relabeled, f"{array}_renamed")
-        assert original == renamed
+@pytest.mark.parametrize("seed", fuzz_seeds(_PER_ORACLE // 2, salt=5))
+def test_total_window_agrees(seed, tmp_path):
+    assert_oracle("total-window-agrees", seed, tmp_path)
 
 
-@pytest.mark.parametrize("depth,seed", CASES[::4])
-def test_transformation_preserves_touched_multiset(depth, seed):
+# ----------------------------------------------------------------------
+# direct properties without an oracle counterpart
+# ----------------------------------------------------------------------
+
+def _transformed_program(seed):
+    from repro.check.oracles import _seed_transformation
+    from repro.ir.generate import GeneratorConfig, random_program
+
+    cfg = GeneratorConfig(depth=2, min_trip=2, max_trip=6, max_coeff=3)
+    program = random_program(seed, cfg)
+    return program, _seed_transformation(program, seed)
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds(max(10, DIFF_CASES // 8), salt=6))
+def test_transformation_preserves_touched_multiset(seed):
     """A unimodular transformation reorders iterations; the multiset of
     touched elements per array is untouched."""
-    program = _program(depth, seed)
-    t = _some_transformation(program, seed)
+    program, t = _transformed_program(seed)
     order = sorted(program.nest.iterate(), key=t.apply)
     for array in program.arrays:
         refs = program.refs_to(array)
@@ -169,11 +82,15 @@ def test_transformation_preserves_touched_multiset(depth, seed):
         assert native == transformed
 
 
-@pytest.mark.parametrize("seed", range(max(10, DIFF_CASES // 10)))
+@pytest.mark.parametrize("seed", fuzz_seeds(max(10, DIFF_CASES // 10), salt=7))
 def test_readonly_def_use_dominates_window(seed):
     """For read-only arrays def-use liveness starts at time 0, so its
     peak can never undercut the window's (the paper's related-work
     argument, checked quantitatively)."""
+    from repro.ir.generate import GeneratorConfig, random_program
+    from repro.window.fast import max_window_size_fast
+    from repro.window.zhao_malik import def_use_peak
+
     cfg = GeneratorConfig(depth=2, min_trip=2, max_trip=6, allow_writes=False)
     program = random_program(seed, cfg)
     for array in program.arrays:

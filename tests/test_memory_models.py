@@ -1,0 +1,160 @@
+"""Unit tests for the previously untested provisioning models:
+``memory/prefetch.py`` (double buffering), ``memory/energy.py`` (cost
+curves), and ``layout/line_window.py`` (line-granular windows; its
+exact-counterpart oracle is ``line-window-element-parity``)."""
+
+import pytest
+
+from repro.ir import parse_program
+from repro.layout import RowMajorLayout
+from repro.layout.line_window import line_window_profile, max_line_window
+from repro.linalg import IntMatrix
+from repro.memory.energy import (
+    MemoryCostModel,
+    access_energy_pj,
+    access_latency_ns,
+    area_mm2,
+)
+from repro.memory.prefetch import best_tile_for_budget, plan_double_buffering
+from repro.window import max_window_size
+
+from tests.conftest import assert_oracle, fuzz_seeds
+
+STENCIL = parse_program(
+    "for i = 1 to 8 { for j = 1 to 8 { B[i][j] = A[i][j] + A[i][j + 1] } }",
+    name="stencil",
+)
+
+
+class TestDoubleBuffering:
+    def test_plan_shape(self):
+        plan = plan_double_buffering(STENCIL, (4, 4))
+        assert plan.tile == (4, 4)
+        assert plan.tile_iterations == 16
+        assert plan.buffer_words == 2 * plan.tile_footprint_words
+        assert plan.n_tiles == 4  # 64 iterations / 16 per tile
+        assert plan.total_transfer_words == plan.n_tiles * plan.tile_footprint_words
+        assert plan.words_per_iteration == pytest.approx(
+            plan.total_transfer_words / 64
+        )
+
+    def test_footprint_counts_both_arrays(self):
+        # A 4x4 tile touches 16 B elements and 4x5 A elements (j stencil).
+        plan = plan_double_buffering(STENCIL, (4, 4))
+        assert plan.tile_footprint_words == 16 + 20
+
+    def test_bandwidth_threshold(self):
+        plan = plan_double_buffering(STENCIL, (4, 4))
+        need = plan.bandwidth_required(compute_time_per_iteration=1.0)
+        assert need == pytest.approx(plan.tile_footprint_words / 16)
+        assert plan.transfers_hidden(need, 1.0)
+        assert not plan.transfers_hidden(need * 0.99, 1.0)
+        with pytest.raises(ValueError):
+            plan.bandwidth_required(0.0)
+
+    def test_invalid_tiles_rejected(self):
+        with pytest.raises(ValueError):
+            plan_double_buffering(STENCIL, (4,))
+        with pytest.raises(ValueError):
+            plan_double_buffering(STENCIL, (0, 4))
+
+    def test_best_tile_monotone_in_budget(self):
+        small = best_tile_for_budget(STENCIL, 40)
+        large = best_tile_for_budget(STENCIL, 400)
+        assert small.buffer_words <= 40
+        assert large.buffer_words <= 400
+        assert large.tile[0] >= small.tile[0]
+
+    def test_best_tile_infeasible_budget(self):
+        with pytest.raises(ValueError):
+            best_tile_for_budget(STENCIL, 1)
+
+
+class TestEnergyModel:
+    def test_baseline_is_identity(self):
+        m = MemoryCostModel()
+        assert m.energy_per_access_pj(1024) == pytest.approx(5.0)
+        assert m.latency_ns(1024) == pytest.approx(1.2)
+        assert m.area_mm2(1024) == pytest.approx(0.08)
+
+    def test_sqrt_and_linear_scaling(self):
+        m = MemoryCostModel()
+        assert m.energy_per_access_pj(4096) == pytest.approx(2 * 5.0)
+        assert m.latency_ns(4096) == pytest.approx(2 * 1.2)
+        assert m.area_mm2(4096) == pytest.approx(4 * 0.08)
+
+    def test_monotone_in_capacity(self):
+        m = MemoryCostModel()
+        caps = [16, 64, 256, 1024, 8192]
+        energies = [m.energy_per_access_pj(c) for c in caps]
+        assert energies == sorted(energies)
+
+    def test_total_energy_decomposes(self):
+        m = MemoryCostModel()
+        total = m.total_energy_pj(1024, onchip_accesses=100, offchip_transfers=3)
+        assert total == pytest.approx(100 * 5.0 + 3 * 200.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryCostModel().energy_per_access_pj(0)
+
+    def test_module_level_helpers_match_default_model(self):
+        m = MemoryCostModel()
+        assert access_energy_pj(2048) == pytest.approx(m.energy_per_access_pj(2048))
+        assert access_latency_ns(2048) == pytest.approx(m.latency_ns(2048))
+        assert area_mm2(2048) == pytest.approx(m.area_mm2(2048))
+
+
+class TestLineWindow:
+    def test_line_size_one_is_element_window(self):
+        for array in STENCIL.arrays:
+            assert max_line_window(STENCIL, array, line_size=1) == max_window_size(
+                STENCIL, array
+            )
+
+    def test_lines_bounded_by_distinct_lines(self):
+        # A line is live between its first and last touch, so the peak
+        # can exceed the *element* window (two once-touched elements on
+        # one line keep it live in between) but never the number of
+        # distinct lines the array maps onto.
+        decl = STENCIL.decl("A")
+        layout = RowMajorLayout()
+        for line_size in (2, 4, 8):
+            lines = {
+                layout.address(decl, ref.element(point)) // line_size
+                for point in STENCIL.nest.iterate()
+                for ref in STENCIL.refs_to("A")
+            }
+            assert max_line_window(STENCIL, "A", line_size=line_size) <= len(lines)
+
+    def test_column_traversal_wastes_lines(self):
+        # Column-major traversal of a row-major array: with 8-wide lines a
+        # whole column of live elements lands on 8 distinct lines, while
+        # the row traversal of the same nest reuses each line across j.
+        row = parse_program(
+            "for i = 1 to 8 { for j = 1 to 8 { A[i][j] = A[i][j - 1] } }"
+        )
+        interchange = IntMatrix([[0, 1], [1, 0]])
+        native = max_line_window(row, "A", line_size=8)
+        transposed = max_line_window(row, "A", line_size=8, transformation=interchange)
+        assert transposed > native
+
+    def test_profile_peak_matches_max(self):
+        profile = line_window_profile(STENCIL, "A", line_size=4)
+        assert max(profile.sizes) == max_line_window(STENCIL, "A", line_size=4)
+        assert len(profile.sizes) == STENCIL.nest.total_iterations
+
+    def test_unknown_array_and_bad_line_size(self):
+        with pytest.raises(KeyError):
+            max_line_window(STENCIL, "nope")
+        with pytest.raises(ValueError):
+            max_line_window(STENCIL, "A", line_size=0)
+
+    def test_explicit_layout_accepted(self):
+        assert max_line_window(
+            STENCIL, "A", layout=RowMajorLayout(), line_size=4
+        ) == max_line_window(STENCIL, "A", line_size=4)
+
+    @pytest.mark.parametrize("seed", fuzz_seeds(10, salt=31))
+    def test_parity_oracle(self, seed, tmp_path):
+        assert_oracle("line-window-element-parity", seed, tmp_path)

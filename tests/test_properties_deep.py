@@ -2,14 +2,20 @@
 
 These tie several subsystems together: optimal-policy dominance,
 allocation conflict-freedom, fusion/distribution semantics, transformed
-window invariance under execution-order-preserving matrices.
-"""
+window invariance under execution-order-preserving matrices, plus the
+metamorphic oracles of :mod:`repro.check` driven over deterministic
+seeds.
 
-import random
+Hypothesis runs under the derandomized ``repro`` profile registered in
+``tests/conftest.py``, so every run replays the same examples; direct
+seed ranges honor ``REPRO_FUZZ_SEED``.
+"""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from tests.conftest import assert_oracle, fuzz_seeds
 
 from repro.ir import parse_program
 from repro.ir.generate import GeneratorConfig, random_program
@@ -110,3 +116,36 @@ class TestWindowInvariances:
         for array in prog.arrays:
             mws = max_window_size(prog, array)
             assert 0 <= mws <= prog.nest.total_iterations * len(prog.refs_to(array))
+
+
+class TestMetamorphicOracles:
+    """Drive the registry's metamorphic relations over fixed seed ranges
+    (failures shrink themselves and print a replay command)."""
+
+    @pytest.mark.parametrize("seed", fuzz_seeds(25, salt=21))
+    def test_relabel_distinct_invariance(self, seed, tmp_path):
+        assert_oracle("relabel-distinct-invariance", seed, tmp_path)
+
+    @pytest.mark.parametrize("seed", fuzz_seeds(8, salt=22))
+    def test_relabel_distinct_invariance_3d(self, seed, tmp_path):
+        assert_oracle("relabel-distinct-invariance-3d", seed, tmp_path)
+
+    @pytest.mark.parametrize("seed", fuzz_seeds(20, salt=23))
+    def test_permutation_preserves_semantics(self, seed, tmp_path):
+        assert_oracle("permutation-preserves-semantics", seed, tmp_path)
+
+    @pytest.mark.parametrize("seed", fuzz_seeds(25, salt=24))
+    def test_trip_extension_monotone(self, seed, tmp_path):
+        assert_oracle("trip-extension-monotone", seed, tmp_path)
+
+    @pytest.mark.parametrize("seed", fuzz_seeds(25, salt=25))
+    def test_time_reversal_mws_invariance(self, seed, tmp_path):
+        assert_oracle("time-reversal-mws-invariance", seed, tmp_path)
+
+    @pytest.mark.parametrize("seed", fuzz_seeds(20, salt=26))
+    def test_cascade_conformance(self, seed, tmp_path):
+        assert_oracle("cascade-conformance", seed, tmp_path)
+
+    @pytest.mark.parametrize("seed", fuzz_seeds(20, salt=27))
+    def test_line_window_element_parity(self, seed, tmp_path):
+        assert_oracle("line-window-element-parity", seed, tmp_path)

@@ -1,0 +1,84 @@
+"""Approximate line coverage of the test suite without coverage.py.
+
+CI enforces the coverage floor with pytest-cov; this harness exists so
+the floor can be (re)measured in environments where coverage.py is not
+installed.  It traces line events for files under ``src/repro`` while
+running pytest, then compares against each module's compiled line table
+— close to coverage.py's statement accounting, though not identical
+(multi-line statements and subprocess workers differ slightly), which is
+why the CI floor sits a few points below the number printed here.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/measure_coverage.py [pytest args...]
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src" / "repro"
+_PREFIX = str(SRC) + "/"
+
+executed: dict[str, set[int]] = {}
+
+
+def _local_tracer(frame, event, arg):
+    if event == "line":
+        executed.setdefault(frame.f_code.co_filename, set()).add(frame.f_lineno)
+    return _local_tracer
+
+
+def _global_tracer(frame, event, arg):
+    if event == "call" and frame.f_code.co_filename.startswith(_PREFIX):
+        return _local_tracer
+    return None
+
+
+def _code_lines(path: Path) -> set[int]:
+    """All line numbers in the compiled line table of one module."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        lines.update(
+            line for _, _, line in obj.co_lines() if line is not None
+        )
+        stack.extend(c for c in obj.co_consts if hasattr(c, "co_lines"))
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    import pytest
+
+    sys.settrace(_global_tracer)
+    threading.settrace(_global_tracer)
+    rc = pytest.main(["-q", *argv])
+    sys.settrace(None)
+    threading.settrace(None)
+
+    total_lines = 0
+    total_hit = 0
+    rows = []
+    for path in sorted(SRC.rglob("*.py")):
+        lines = _code_lines(path)
+        hit = executed.get(str(path), set()) & lines
+        total_lines += len(lines)
+        total_hit += len(hit)
+        pct = 100.0 * len(hit) / len(lines) if lines else 100.0
+        rows.append((pct, len(hit), len(lines), path.relative_to(ROOT)))
+    rows.sort()
+    print()
+    for pct, hit, n, rel in rows:
+        print(f"{pct:6.1f}%  {hit:>5}/{n:<5}  {rel}")
+    overall = 100.0 * total_hit / total_lines if total_lines else 100.0
+    print(f"\nTOTAL {overall:.2f}% ({total_hit}/{total_lines} traced lines)")
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
