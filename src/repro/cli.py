@@ -13,6 +13,7 @@
     python -m repro bench --chunk-sweep     # streaming-engine chunk sweep
     python -m repro check --seeds 500       # fuzz the conformance oracles
     python -m repro check --replay f.json   # replay one corpus counterexample
+    python -m repro batch manifest.json     # batch-evaluate a manifest
 
 Global flags (before the subcommand):
 
@@ -22,6 +23,9 @@ Global flags (before the subcommand):
                        budget, streaming)
     --trace out.jsonl  record an observability trace; prints a span
                        summary on exit (see docs/observability.md)
+    --store DIR        persist/reuse exact windows and search results in
+                       a content-addressed store (default: the
+                       REPRO_STORE_DIR environment variable, if set)
 
 The input format is the small C-like syntax of :mod:`repro.ir.parser`
 (see examples/ and README).
@@ -70,7 +74,9 @@ def _cmd_dependences(args: argparse.Namespace) -> int:
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     program = _load(args.file)
-    result = optimize_program(program, workers=args.workers, engine=args.engine)
+    result = optimize_program(
+        program, workers=args.workers, engine=args.engine, store=args.store_obj
+    )
     print(f"MWS before : {result.mws_before}")
     print(f"MWS after  : {result.mws_after}")
     print(f"reduction  : {100 * result.reduction:.1f}%")
@@ -87,7 +93,8 @@ def _cmd_size(args: argparse.Namespace) -> int:
     transformation = None
     if args.optimized:
         transformation = optimize_program(
-            program, workers=args.workers, engine=args.engine
+            program, workers=args.workers, engine=args.engine,
+            store=args.store_obj,
         ).transformation
     report = size_memory_for_program(program, transformation, engine=args.engine)
     print(f"declared            : {report.declared_words} words")
@@ -113,11 +120,11 @@ def _cmd_buffer(args: argparse.Namespace) -> int:
         depth = program.nest.depth
         if depth == 2:
             transformation = search_mws_2d(
-                program, array, workers=args.workers
+                program, array, workers=args.workers, store=args.store_obj
             ).transformation
         elif depth == 3:
             transformation = search_mws_3d(
-                program, array, workers=args.workers
+                program, array, workers=args.workers, store=args.store_obj
             ).transformation
     alloc = allocate_window(program, array, transformation)
     print(f"array {array}: declared={alloc.declared} MWS={alloc.mws} "
@@ -185,7 +192,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     try:
         result = search_best_transformation(
             program, array, bound=args.bound, workers=args.workers,
-            engine=args.engine,
+            engine=args.engine, store=args.store_obj,
         )
     finally:
         journal.disable()
@@ -313,9 +320,42 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
         specs = [kernel_by_name(args.kernel)]
     else:
         specs = list(KERNELS)
-    rows = [figure2_row(spec, workers=args.workers) for spec in specs]
+    rows = [
+        figure2_row(spec, workers=args.workers, store=args.store_obj)
+        for spec in specs
+    ]
     print(render_table(rows))
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.reporting import render_cache_stats
+    from repro.store import load_manifest, render_batch_table, run_batch
+
+    entries = load_manifest(args.manifest)
+    observer = obs.get_observer()
+    own_observer = observer is None
+    if own_observer:
+        observer = obs.enable()
+    try:
+        report = run_batch(
+            entries,
+            store=args.store_obj,
+            workers=args.workers,
+            engine=args.engine,
+            timeout=args.timeout,
+        )
+    finally:
+        if own_observer:
+            obs.disable()
+    # stdout carries only the deterministic table (cold and warm runs
+    # must be byte-identical); counters and latencies go to stderr.
+    print(render_batch_table(report))
+    stats = render_cache_stats(observer.summary())
+    if stats:
+        print(file=sys.stderr)
+        print(stats, file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -342,6 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="OUT.jsonl",
         help="record a JSONL observability trace and print a span summary",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="persistent result store directory (default: $REPRO_STORE_DIR)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -478,12 +523,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", help="one kernel only (e.g. sor)")
     p.set_defaults(func=_cmd_figure2)
 
+    p = sub.add_parser(
+        "batch",
+        help="batch-evaluate a JSON manifest of kernels/searches "
+             "(dedup + store-warm re-runs; see docs/observability.md)",
+    )
+    p.add_argument("manifest", help="JSON manifest of work items")
+    p.add_argument(
+        "--timeout",
+        type=float,
+        metavar="S",
+        help="per-item timeout in seconds (needs --workers >= 1)",
+    )
+    p.set_defaults(func=_cmd_batch)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.store import open_store
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    args.store_obj = open_store(args.store)
     if args.trace:
         obs.enable(trace=args.trace)
     try:
@@ -493,13 +555,18 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     finally:
         if args.trace:
-            from repro.reporting import render_span_summary
+            from repro.reporting import render_cache_stats, render_span_summary
 
             observer = obs.disable()
             if observer is not None:
+                summary = observer.summary()
                 print(file=sys.stderr)
                 print(f"trace written to {args.trace}", file=sys.stderr)
-                print(render_span_summary(observer.summary()), file=sys.stderr)
+                print(render_span_summary(summary), file=sys.stderr)
+                stats = render_cache_stats(summary)
+                if stats:
+                    print(file=sys.stderr)
+                    print(stats, file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -52,7 +52,7 @@ def _program_ordering_distances(program: Program) -> list[tuple[int, ...]]:
 
 
 def candidate_transformations(
-    program: Program, workers: int = 0, engine: str = "auto"
+    program: Program, workers: int = 0, engine: str = "auto", store=None
 ) -> list[IntMatrix]:
     """Legal candidate transformations for program-level optimization.
 
@@ -84,7 +84,9 @@ def candidate_transformations(
             if not program.is_uniformly_generated(array):
                 continue
             try:
-                result = search(program, array, workers=workers, engine=engine)
+                result = search(
+                    program, array, workers=workers, engine=engine, store=store
+                )
             except (ValueError, KeyError):
                 continue
             if is_legal(result.transformation, distances):
@@ -124,7 +126,7 @@ def _access_embeddings(
 
 
 def optimize_program(
-    program: Program, workers: int = 0, engine: str = "auto"
+    program: Program, workers: int = 0, engine: str = "auto", store=None
 ) -> OptimizationResult:
     """Choose the legal transformation minimizing total MWS.
 
@@ -140,19 +142,21 @@ def optimize_program(
     candidates whose certified/clipped lower bound cannot strictly beat
     the running best are never simulated — the chosen transformation is
     identical to scoring everything.  ``engine`` picks the window engine
-    (:data:`repro.window.ENGINES`).
+    (:data:`repro.window.ENGINES`).  ``store`` (a
+    :class:`repro.store.ResultStore`) persists search results and exact
+    values, so a warm process re-optimizes without simulating.
     """
     from repro.transform.search import evaluate_cascade
 
     with obs.span("optimize", program=program.name, workers=workers):
         with obs.span("candidates"):
             candidates = candidate_transformations(
-                program, workers=workers, engine=engine
+                program, workers=workers, engine=engine, store=store
             )
         obs.counter("optimize.candidates", len(candidates))
         outcomes = evaluate_cascade(
             program, [None] + candidates, array=None, workers=workers,
-            engine=engine,
+            engine=engine, store=store,
         )
         before = outcomes[0].value
         best_t = IntMatrix.identity(program.nest.depth)

@@ -23,10 +23,10 @@ Sylvester gap mass of the references.
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.envutil import env_int
 from repro.ir.program import Program
 from repro.ir.reference import ArrayRef
 from repro.linalg.frobenius import sylvester_count
@@ -184,10 +184,7 @@ DEFAULT_CLIP_BUDGET = 4096
 
 def clip_budget() -> int:
     """Iteration budget of the tier-2 clipped sub-program."""
-    raw = os.environ.get(CLIP_BUDGET_ENV)
-    if raw is None:
-        return DEFAULT_CLIP_BUDGET
-    return int(raw)
+    return env_int(CLIP_BUDGET_ENV, DEFAULT_CLIP_BUDGET)
 
 
 def _family_fits_box(

@@ -13,6 +13,8 @@ from repro.reporting.journal import (
     render_reconciliation,
 )
 from repro.reporting.metrics import (
+    cache_stats,
+    render_cache_stats,
     render_gauges,
     render_histograms,
     render_metrics,
@@ -42,6 +44,8 @@ __all__ = [
     "SpanRow",
     "render_span_summary",
     "span_summary_rows",
+    "cache_stats",
+    "render_cache_stats",
     "render_gauges",
     "render_histograms",
     "render_metrics",

@@ -64,3 +64,82 @@ def render_metrics(summary: Mapping[str, Any]) -> str:
     """Gauges table then histograms table; empty string if neither present."""
     sections = [s for s in (render_gauges(summary), render_histograms(summary)) if s]
     return "\n\n".join(sections)
+
+
+#: Cache families reconciled by :func:`cache_stats`: display name ->
+#: counter prefix.  Every family counts ``<prefix>.hits`` /
+#: ``<prefix>.misses`` (so hit rate is reportable from metrics alone)
+#: and, when LRU-bounded, ``<prefix>.evictions``.
+CACHE_FAMILIES: tuple[tuple[str, str], ...] = (
+    ("search memo", "search.memo"),
+    ("exact cache", "search.cache"),
+    ("store (memory)", "store.mem"),
+    ("store (disk)", "store.disk"),
+)
+
+
+def cache_stats(counters: Mapping[str, int]) -> list[dict[str, Any]]:
+    """Hits/misses/evictions/hit-rate per cache family, from counters.
+
+    The store's two hit tiers share one miss counter (``store.misses``
+    counts lookups neither tier answered), so the memory row's misses
+    are ``disk hits + store misses`` — everything the memory front
+    didn't answer — and the disk row's are ``store.misses`` alone; each
+    row's ``hits + misses`` then equals the lookups that reached it.
+    Families with no traffic are omitted.
+    """
+    rows = []
+    for label, prefix in CACHE_FAMILIES:
+        hits = int(counters.get(f"{prefix}.hits", 0))
+        if prefix == "store.mem":
+            misses = int(counters.get("store.disk.hits", 0)) + int(
+                counters.get("store.misses", 0)
+            )
+        elif prefix == "store.disk":
+            misses = int(counters.get("store.misses", 0))
+        else:
+            misses = int(counters.get(f"{prefix}.misses", 0))
+        evictions = int(counters.get(f"{prefix}.evictions", 0))
+        lookups = hits + misses
+        if lookups == 0 and evictions == 0:
+            continue
+        rows.append({
+            "name": label,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        })
+    corrupt = int(counters.get("store.corrupt", 0))
+    if corrupt:
+        rows.append({
+            "name": "store (corrupt records)",
+            "hits": 0, "misses": corrupt, "evictions": 0, "hit_rate": 0.0,
+        })
+    return rows
+
+
+def render_cache_stats(summary: Mapping[str, Any]) -> str:
+    """Hit/miss/eviction table per cache family; empty when no traffic.
+
+    >>> print(render_cache_stats({"counters": {
+    ...     "search.memo.hits": 3, "search.memo.misses": 1,
+    ... }}))
+    cache                      hits     misses  evictions  hit rate
+    ---------------------------------------------------------------
+    search memo                   3          1          0     75.0%
+    """
+    rows = cache_stats(summary.get("counters", {}))
+    if not rows:
+        return ""
+    header = (
+        f"{'cache':<24} {'hits':>6} {'misses':>10} {'evictions':>10} "
+        f"{'hit rate':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<24} {row['hits']:>6} {row['misses']:>10} "
+            f"{row['evictions']:>10} {100 * row['hit_rate']:>8.1f}%"
+        )
+    return "\n".join(lines)

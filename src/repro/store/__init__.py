@@ -1,0 +1,44 @@
+"""Persistent result store and batch evaluation (ISSUE 5).
+
+* :mod:`repro.store.lru` — the bounded LRU cache primitive (also the
+  in-memory memo layer of :mod:`repro.transform.search`);
+* :mod:`repro.store.store` — content-addressed on-disk records keyed by
+  ``(program signature, kind, array, knobs)``, atomic and
+  corruption-tolerant;
+* :mod:`repro.store.batch` — the manifest-driven batch evaluation
+  service behind ``repro batch``.
+"""
+
+from repro.store.batch import (
+    BatchItem,
+    BatchOutcome,
+    BatchReport,
+    load_manifest,
+    render_batch_table,
+    run_batch,
+)
+from repro.store.lru import LRUCache
+from repro.store.store import (
+    DEFAULT_LRU_CAPACITY,
+    SCHEMA_VERSION,
+    STORE_DIR_ENV,
+    STORE_LRU_ENV,
+    ResultStore,
+    open_store,
+)
+
+__all__ = [
+    "BatchItem",
+    "BatchOutcome",
+    "BatchReport",
+    "DEFAULT_LRU_CAPACITY",
+    "LRUCache",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "STORE_DIR_ENV",
+    "STORE_LRU_ENV",
+    "load_manifest",
+    "open_store",
+    "render_batch_table",
+    "run_batch",
+]

@@ -1,0 +1,72 @@
+"""Bounded least-recently-used cache with an eviction counter.
+
+The one in-memory cache primitive shared by the search memos
+(:mod:`repro.transform.search`) and the persistent result store's
+front (:mod:`repro.store.store`).  Replaces the two ad-hoc
+module-level dicts the search used to keep: the unbounded exact-MWS
+memo and the whole-search memo that evicted by wholesale ``clear()``
+(thrashing benchmark loops cycling more keys than the limit).
+
+Hit/miss accounting stays with the caller — different call sites count
+under different names — but evictions are intrinsic to the cache, so
+they are counted here under ``<counter>.evictions``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator
+
+from repro import obs
+
+
+class LRUCache:
+    """Mapping bounded to ``capacity`` entries, evicting least recently
+    used.  ``get`` refreshes recency; ``put`` of an existing key updates
+    in place (and refreshes).  When ``counter`` is given, each eviction
+    bumps the obs counter ``f"{counter}.evictions"``.
+    """
+
+    __slots__ = ("capacity", "_data", "_counter", "evictions")
+
+    def __init__(self, capacity: int, counter: str | None = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"LRU capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._counter = f"{counter}.evictions" if counter else None
+        #: Lifetime eviction count (monotonic, survives ``clear``).
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return default
+        return self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data[key] = value
+            data.move_to_end(key)
+            return
+        if len(data) >= self.capacity:
+            data.popitem(last=False)
+            self.evictions += 1
+            if self._counter is not None:
+                obs.counter(self._counter)
+        data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Keys from least to most recently used."""
+        return iter(self._data)

@@ -1,0 +1,171 @@
+"""Persistent, content-addressed result store.
+
+Exact windows, search results, and cascade outcomes are pure functions
+of ``Program.signature()`` and the search knobs, so — like the reuse
+profiles AutoLALA and the static estimators treat as cacheable
+artifacts keyed by the loop nest — they can be persisted once and
+served to every later process.  The store maps
+
+    (program signature, kind, array, knob key)  ->  JSON value
+
+as one atomic record file per key under a versioned root::
+
+    <root>/v1/<kind>/<sha256(key)[:32]>.json
+
+Properties:
+
+* **Atomic writes.**  Records are written to a same-directory temp file
+  and ``os.replace``d into place, so readers never observe a torn
+  record and concurrent writers of the same key are last-writer-wins
+  (both wrote the same pure value anyway).
+* **Schema-version stamping.**  Every record carries ``schema`` and
+  echoes its ``kind`` and ``key``; the root is versioned (``v1``) so a
+  future layout change cannot misread old records.
+* **Corruption-tolerant reads.**  A truncated, garbage, wrong-schema,
+  or hash-colliding record is a *miss* (counted under
+  ``store.corrupt``), never a crash — the caller recomputes and the
+  rewrite heals the record.
+* **Bounded in-memory LRU front** (``REPRO_STORE_LRU`` entries) so a
+  hot loop does not re-read JSON from disk.
+
+Counters: ``store.mem.hits``, ``store.disk.hits``, ``store.misses``,
+``store.writes``, ``store.corrupt``, ``store.mem.evictions``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro import obs
+from repro.envutil import env_int
+from repro.store.lru import LRUCache
+
+#: Record/layout schema version; bump on any incompatible change.
+SCHEMA_VERSION = 1
+
+#: Environment variable naming the store root directory.
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+
+#: Environment variable overriding the in-memory LRU capacity.
+STORE_LRU_ENV = "REPRO_STORE_LRU"
+
+#: Default in-memory front size (records are small decoded JSON values).
+DEFAULT_LRU_CAPACITY = 4096
+
+
+def _canonical(key: Any) -> str:
+    """Deterministic JSON encoding of a key (dict order irrelevant)."""
+    return json.dumps(key, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """One on-disk result store rooted at ``root`` (see module docs)."""
+
+    def __init__(self, root: str | Path, lru_capacity: int | None = None) -> None:
+        self.root = Path(root)
+        self.base = self.root / f"v{SCHEMA_VERSION}"
+        if lru_capacity is None:
+            lru_capacity = env_int(STORE_LRU_ENV, DEFAULT_LRU_CAPACITY)
+        self._lru = LRUCache(lru_capacity, counter="store.mem")
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def record_path(self, kind: str, key: Any) -> Path:
+        digest = hashlib.sha256(_canonical(key).encode()).hexdigest()[:32]
+        return self.base / kind / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    # read / write
+    # ------------------------------------------------------------------
+    def get(self, kind: str, key: Any) -> Any:
+        """Stored value for ``(kind, key)``, or ``None`` on any miss."""
+        ckey = (kind, _canonical(key))
+        hit = self._lru.get(ckey, _MISS)
+        if hit is not _MISS:
+            obs.counter("store.mem.hits")
+            return hit
+        path = self.record_path(kind, key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            obs.counter("store.misses")
+            return None
+        try:
+            record = json.loads(text)
+            if (
+                not isinstance(record, dict)
+                or record.get("schema") != SCHEMA_VERSION
+                or record.get("kind") != kind
+                or _canonical(record.get("key")) != ckey[1]
+                or "value" not in record
+            ):
+                raise ValueError("malformed record")
+        except (ValueError, TypeError):
+            # Truncated/garbage/hash-collision record: a miss, not a
+            # crash.  Leave the file; the recompute's write heals it.
+            obs.counter("store.corrupt")
+            obs.counter("store.misses")
+            return None
+        value = record["value"]
+        obs.counter("store.disk.hits")
+        self._lru.put(ckey, value)
+        return value
+
+    def put(self, kind: str, key: Any, value: Any) -> Path:
+        """Atomically persist ``value`` under ``(kind, key)``."""
+        path = self.record_path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "key": key,
+            "value": value,
+        }
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        obs.counter("store.writes")
+        self._lru.put((kind, _canonical(key)), value)
+        return path
+
+    # ------------------------------------------------------------------
+    # maintenance / introspection
+    # ------------------------------------------------------------------
+    def drop_memory(self) -> None:
+        """Forget the in-memory front (disk records stay)."""
+        self._lru.clear()
+
+    def record_count(self) -> int:
+        """Number of records on disk (walks the store; diagnostics only)."""
+        if not self.base.exists():
+            return 0
+        return sum(1 for _ in self.base.glob("*/*.json"))
+
+    def __reduce__(self):
+        # Pickle as (root, capacity): worker processes re-open the same
+        # on-disk store with a fresh (empty) in-memory front.
+        return (ResultStore, (str(self.root), self._lru.capacity))
+
+
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISS = object()
+
+
+def open_store(
+    root: str | Path | None = None, lru_capacity: int | None = None
+) -> ResultStore | None:
+    """Open the store at ``root``, or at ``$REPRO_STORE_DIR`` when
+    ``root`` is omitted; ``None`` when neither names a directory."""
+    if root is None:
+        root = os.environ.get(STORE_DIR_ENV) or None
+    if root is None:
+        return None
+    return ResultStore(root, lru_capacity=lru_capacity)

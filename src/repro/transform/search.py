@@ -38,7 +38,11 @@ evaluating everything.
 
 Whole-search results are additionally memoized in ``_SEARCH_CACHE``
 (content-hash keyed, bypassed while a journal records so ``repro
-explain`` always sees a full trace).
+explain`` always sees a full trace).  Both memos are bounded
+:class:`~repro.store.lru.LRUCache` instances with eviction counters;
+passing ``store=`` (a :class:`repro.store.ResultStore`) additionally
+persists exact values, search results, and cascade outcomes across
+processes — see :mod:`repro.store`.
 """
 
 from __future__ import annotations
@@ -55,6 +59,7 @@ from repro.dependence.distance import lex_level
 from repro.estimation import bounds
 from repro.ir.program import Program
 from repro.linalg import IntMatrix
+from repro.store.lru import LRUCache
 from repro.transform import journal
 from repro.transform.completion import complete_first_row_2d, complete_rows_legal
 from repro.transform.elementary import (
@@ -96,8 +101,11 @@ class SearchResult:
 #: (program signature, array | None, transformation rows | None) -> exact
 #: MWS.  ``array=None`` keys total-window results, ``rows=None`` the
 #: native order.  Content-hash keys make results reusable across equal
-#: programs rebuilt by different benchmarks / CLI invocations.
-_EXACT_CACHE: dict[tuple[str, str | None, tuple | None], int] = {}
+#: programs rebuilt by different benchmarks / CLI invocations.  Bounded
+#: LRU (evictions counted under ``search.cache.evictions``) so sustained
+#: multi-kernel runs cannot grow it without bound.
+_EXACT_CACHE_LIMIT = 65536
+_EXACT_CACHE: LRUCache = LRUCache(_EXACT_CACHE_LIMIT, counter="search.cache")
 
 #: Below this many cache misses a process pool costs more than it saves.
 PARALLEL_THRESHOLD = 8
@@ -108,8 +116,11 @@ PARALLEL_THRESHOLD = 8
 #: is computed), so repeated searches — benchmark loops, the Figure-2
 #: table re-running per array, pool workers — hit here.  Bypassed while a
 #: journal records, so ``repro explain`` always sees the full trace.
-_SEARCH_CACHE: dict[tuple, "SearchResult"] = {}
+#: LRU-bounded (``search.memo.evictions``): benchmark loops cycling more
+#: than the limit evict one key at a time instead of thrashing the whole
+#: memo with a wholesale ``clear()``.
 _SEARCH_CACHE_LIMIT = 256
+_SEARCH_CACHE: LRUCache = LRUCache(_SEARCH_CACHE_LIMIT, counter="search.memo")
 
 
 def clear_exact_cache() -> None:
@@ -133,19 +144,85 @@ def _search_memo_get(key: tuple) -> "SearchResult | None":
     result = _SEARCH_CACHE.get(key)
     if result is not None:
         obs.counter("search.memo.hits")
+    else:
+        obs.counter("search.memo.misses")
     return result
 
 
 def _search_memo_store(key: tuple, result: "SearchResult") -> None:
     if journal.active() is not None:
         return
-    if len(_SEARCH_CACHE) >= _SEARCH_CACHE_LIMIT:
-        _SEARCH_CACHE.clear()
-    _SEARCH_CACHE[key] = result
+    _SEARCH_CACHE.put(key, result)
 
 
 def _t_key(transformation: IntMatrix | None) -> tuple | None:
     return None if transformation is None else transformation.rows
+
+
+# ----------------------------------------------------------------------
+# persistent-store codecs (see repro.store for the on-disk layout)
+# ----------------------------------------------------------------------
+
+def _exact_store_key(sig: str, array: str | None, t_key: tuple | None):
+    return {"sig": sig, "array": array, "t": t_key}
+
+
+def _encode_result(result: "SearchResult") -> dict:
+    est = result.estimated_mws
+    if isinstance(est, Fraction):
+        est = {"n": est.numerator, "d": est.denominator}
+    return {
+        "array": result.array,
+        "t": result.transformation.rows,
+        "est": est,
+        "exact": result.exact_mws,
+        "examined": result.candidates_examined,
+        "method": result.method,
+    }
+
+
+def _decode_result(value) -> "SearchResult | None":
+    """Stored-record payload -> :class:`SearchResult`; ``None`` (a miss)
+    when the payload does not decode — never an exception."""
+    try:
+        est = value["est"]
+        if isinstance(est, dict):
+            est = Fraction(est["n"], est["d"])
+        rows = tuple(tuple(int(v) for v in row) for row in value["t"])
+        return SearchResult(
+            value["array"],
+            IntMatrix(rows),
+            est,
+            value["exact"],
+            int(value["examined"]),
+            value["method"],
+        )
+    except (KeyError, TypeError, ValueError, IndexError):
+        obs.counter("store.corrupt")
+        return None
+
+
+def _search_store_get(store, kind: str, sig: str, array: str, knobs: dict):
+    """Persisted :class:`SearchResult`, or ``None``; bypassed while a
+    journal records so ``repro explain`` still sees the full trace."""
+    if store is None or journal.active() is not None:
+        return None
+    value = store.get("search", {"kind": kind, "sig": sig, "array": array, **knobs})
+    if value is None:
+        return None
+    return _decode_result(value)
+
+
+def _search_store_put(
+    store, kind: str, sig: str, array: str, knobs: dict, result: "SearchResult"
+) -> None:
+    if store is None:
+        return
+    store.put(
+        "search",
+        {"kind": kind, "sig": sig, "array": array, **knobs},
+        _encode_result(result),
+    )
 
 
 def _eval_one(
@@ -188,6 +265,7 @@ def evaluate_exact(
     workers: int | None = 0,
     stage: str = "evaluate",
     engine: str = "auto",
+    store=None,
 ) -> list[int]:
     """Exact MWS for each candidate transformation, in candidate order.
 
@@ -202,7 +280,9 @@ def evaluate_exact(
     cascade's lower-bound batches record as ``"lower_bound"`` so they
     stay out of the ranked candidate table); ``engine`` picks the window
     engine (see :data:`repro.window.ENGINES`) — the cache key is
-    engine-independent because all engines agree exactly.
+    engine-independent because all engines agree exactly.  ``store``
+    (a :class:`repro.store.ResultStore`) persists each exact value, so a
+    later process skips the simulation entirely.
     """
     workers = _resolve_workers(workers)
     sig = program.signature()
@@ -211,6 +291,11 @@ def evaluate_exact(
     misses: list[int] = []
     for idx, t in enumerate(candidates):
         hit = _EXACT_CACHE.get((sig, array, _t_key(t)))
+        if hit is None and store is not None:
+            persisted = store.get("exact", _exact_store_key(sig, array, _t_key(t)))
+            if isinstance(persisted, int) and not isinstance(persisted, bool):
+                hit = persisted
+                _EXACT_CACHE.put((sig, array, _t_key(t)), hit)
         if hit is None:
             misses.append(idx)
         else:
@@ -253,7 +338,13 @@ def evaluate_exact(
                 ]
         for idx, value in zip(misses, values):
             results[idx] = value
-            _EXACT_CACHE[(sig, array, _t_key(candidates[idx]))] = value
+            _EXACT_CACHE.put((sig, array, _t_key(candidates[idx])), value)
+            if store is not None:
+                store.put(
+                    "exact",
+                    _exact_store_key(sig, array, _t_key(candidates[idx])),
+                    value,
+                )
             if jr is not None:
                 jr.record(
                     stage, _t_key(candidates[idx]), "computed", exact=value
@@ -262,9 +353,18 @@ def evaluate_exact(
 
 
 def _resolve_workers(workers: int | None) -> int:
-    """``None`` means "pick for me": one worker per CPU, capped at 8."""
+    """``None`` means "pick for me": one worker per CPU, capped at 8.
+
+    Negative counts are rejected here, at the entry point, rather than
+    surfacing as an opaque ``ProcessPoolExecutor`` error mid-search.
+    """
     if workers is None:
         return min(8, os.cpu_count() or 1)
+    if workers < 0:
+        raise ValueError(
+            f"workers must be >= 0 (0 = serial, None = auto-size), "
+            f"got {workers}"
+        )
     return workers
 
 
@@ -295,6 +395,7 @@ def evaluate_cascade(
     workers: int | None = 0,
     clip_budget: int | None = None,
     engine: str = "auto",
+    store=None,
 ) -> list[CascadeOutcome]:
     """Tiered exact evaluation: certify, lower-bound, simulate survivors.
 
@@ -313,10 +414,32 @@ def evaluate_cascade(
     lb_evals}`` (``pruned`` = ``tier1`` + ``tier2_pruned``); each prune
     also writes a stage-``"cascade"`` journal record, so ``repro
     explain`` reconciles them.
+
+    ``store`` persists both the per-candidate exact values (through
+    :func:`evaluate_exact`) and the whole outcome list, keyed by the
+    candidate sequence and the resolved clip budget, so a warm process
+    replays the cascade without touching the simulator.
     """
     workers = _resolve_workers(workers)
     sig = program.signature()
     jr = journal.active()
+    budget = bounds.clip_budget() if clip_budget is None else clip_budget
+
+    cascade_key = None
+    if store is not None and jr is None:
+        cascade_key = {
+            "sig": sig,
+            "array": array,
+            "ts": [_t_key(t) for t in candidates],
+            "clip": budget,
+        }
+        persisted = store.get("cascade", cascade_key)
+        decoded = _decode_outcomes(persisted)
+        if decoded is not None:
+            for t, outcome in zip(candidates, decoded):
+                if outcome.exact:
+                    _EXACT_CACHE.put((sig, array, _t_key(t)), outcome.value)
+            return decoded
 
     # Tier 1: transformation-invariant certified facts.
     if array is None:
@@ -331,7 +454,7 @@ def evaluate_cascade(
         obs.counter("search.cascade.tier1", len(candidates))
         obs.counter("search.cascade.pruned", len(candidates))
         for t in candidates:
-            _EXACT_CACHE[(sig, array, _t_key(t))] = 0
+            _EXACT_CACHE.put((sig, array, _t_key(t)), 0)
             if jr is not None:
                 jr.record(
                     "cascade", _t_key(t), "pruned",
@@ -339,18 +462,20 @@ def evaluate_cascade(
                            "(exact MWS 0 under any ordering)",
                     exact=0,
                 )
-        return [CascadeOutcome(0, True, "tier1") for _ in candidates]
+        outcomes = [CascadeOutcome(0, True, "tier1") for _ in candidates]
+        if cascade_key is not None:
+            store.put("cascade", cascade_key, _encode_outcomes(outcomes))
+        return outcomes
 
     # Tier 2: one batched lower-bound evaluation on the clipped program.
     # Worth it only when the full nest dwarfs the clipped one.
-    budget = bounds.clip_budget() if clip_budget is None else clip_budget
     lower_bounds: list[int] | None = None
     if program.nest.total_iterations > 2 * budget:
         clipped = bounds.clipped_program(program, budget)
         with obs.span("cascade.lower_bound", candidates=len(candidates)):
             lower_bounds = evaluate_exact(
                 clipped, candidates, array=array, workers=workers,
-                stage="lower_bound", engine=engine,
+                stage="lower_bound", engine=engine, store=store,
             )
         obs.counter("search.cascade.lb_evals", len(candidates))
 
@@ -387,6 +512,7 @@ def evaluate_cascade(
                 simulated += 1
                 value = evaluate_exact(
                     program, [t], array=array, workers=workers, engine=engine,
+                    store=store,
                 )[0]
                 outcome = CascadeOutcome(value, True, "simulated")
         if outcome.exact and (incumbent is None or outcome.value < incumbent):
@@ -396,7 +522,28 @@ def evaluate_cascade(
     obs.counter("search.cascade.tier2_pruned", tier2_pruned)
     obs.counter("search.cascade.pruned", tier1_pruned + tier2_pruned)
     obs.counter("search.cascade.simulated", simulated)
+    if cascade_key is not None:
+        store.put("cascade", cascade_key, _encode_outcomes(outcomes))
     return outcomes
+
+
+def _encode_outcomes(outcomes: Sequence[CascadeOutcome]) -> list[list]:
+    return [[o.value, o.exact, o.tier] for o in outcomes]
+
+
+def _decode_outcomes(value) -> list[CascadeOutcome] | None:
+    """Stored cascade payload -> outcomes; ``None`` (a miss) when it
+    does not decode."""
+    if value is None:
+        return None
+    try:
+        return [
+            CascadeOutcome(int(v), bool(exact), str(tier))
+            for v, exact, tier in value
+        ]
+    except (TypeError, ValueError):
+        obs.counter("store.corrupt")
+        return None
 
 
 def _coprime_rows(bound: int):
@@ -511,6 +658,7 @@ def search_mws_2d(
     verify_top: int = 6,
     workers: int = 0,
     engine: str = "auto",
+    store=None,
 ) -> SearchResult:
     """Find a tileable unimodular transformation minimizing the array's MWS.
 
@@ -533,10 +681,16 @@ def search_mws_2d(
     refs = program.refs_to(array)
     if not refs:
         raise KeyError(array)
-    memo_key = ("2d", program.signature(), array, bound, verify_top)
+    sig = program.signature()
+    memo_key = ("2d", sig, array, bound, verify_top)
     memoized = _search_memo_get(memo_key)
     if memoized is not None:
         return memoized
+    knobs = {"bound": bound, "verify_top": verify_top}
+    persisted = _search_store_get(store, "2d", sig, array, knobs)
+    if persisted is not None:
+        _search_memo_store(memo_key, persisted)
+        return persisted
     with obs.span("search.2d", array=array, bound=bound):
         order_dists = ordering_distances(program, array)
         window_dists = reuse_distances(program, array)
@@ -617,7 +771,7 @@ def search_mws_2d(
         leaders = collected[:verify_top]
         exacts = evaluate_exact(
             program, [t for _, t in leaders], array=array, workers=workers,
-            engine=engine,
+            engine=engine, store=store,
         )
         best = None
         for (estimate, t), exact in zip(leaders, exacts):
@@ -626,6 +780,7 @@ def search_mws_2d(
         exact, estimate, t = best
         result = SearchResult(array, t, estimate, exact, examined, "2d-enumeration")
         _search_memo_store(memo_key, result)
+        _search_store_put(store, "2d", sig, array, knobs, result)
         return result
 
 
@@ -640,6 +795,7 @@ def search_mws_3d(
     verify_top: int = 4,
     workers: int = 0,
     engine: str = "auto",
+    store=None,
 ) -> SearchResult:
     """Section 4.3 search for 3-deep nests.
 
@@ -655,10 +811,16 @@ def search_mws_3d(
     refs = program.refs_to(array)
     if not refs:
         raise KeyError(array)
-    memo_key = ("3d", program.signature(), array, bound, verify_top)
+    sig = program.signature()
+    memo_key = ("3d", sig, array, bound, verify_top)
     memoized = _search_memo_get(memo_key)
     if memoized is not None:
         return memoized
+    knobs = {"bound": bound, "verify_top": verify_top}
+    persisted = _search_store_get(store, "3d", sig, array, knobs)
+    if persisted is not None:
+        _search_memo_store(memo_key, persisted)
+        return persisted
     with obs.span("search.3d", array=array, bound=bound):
         order_dists = ordering_distances(program, array)
         window_dists = reuse_distances(program, array)
@@ -713,7 +875,8 @@ def search_mws_3d(
             candidates.sort(key=level_key)
         leaders = candidates[:verify_top]
         exacts = evaluate_exact(
-            program, leaders, array=array, workers=workers, engine=engine
+            program, leaders, array=array, workers=workers, engine=engine,
+            store=store,
         )
         best = None
         for t, exact in zip(leaders, exacts):
@@ -722,6 +885,7 @@ def search_mws_3d(
         exact, t = best
         result = SearchResult(array, t, exact, exact, examined, "3d-level-search")
         _search_memo_store(memo_key, result)
+        _search_store_put(store, "3d", sig, array, knobs, result)
         return result
 
 
@@ -730,6 +894,7 @@ def search_general(
     array: str,
     workers: int = 0,
     engine: str = "auto",
+    store=None,
 ) -> SearchResult:
     """Depth-agnostic search: signed permutations + access embeddings.
 
@@ -744,10 +909,15 @@ def search_general(
     refs = program.refs_to(array)
     if not refs:
         raise KeyError(array)
-    memo_key = ("general", program.signature(), array)
+    sig = program.signature()
+    memo_key = ("general", sig, array)
     memoized = _search_memo_get(memo_key)
     if memoized is not None:
         return memoized
+    persisted = _search_store_get(store, "general", sig, array, {})
+    if persisted is not None:
+        _search_memo_store(memo_key, persisted)
+        return persisted
     with obs.span("search.general", array=array, depth=program.nest.depth):
         n = program.nest.depth
         order_dists = ordering_distances(program, array)
@@ -781,7 +951,8 @@ def search_general(
         obs.counter("search.candidates.examined", examined)
         ordered = list(candidates)
         outcomes = evaluate_cascade(
-            program, ordered, array=array, workers=workers, engine=engine
+            program, ordered, array=array, workers=workers, engine=engine,
+            store=store,
         )
         best = None
         for t, outcome in zip(ordered, outcomes):
@@ -794,6 +965,7 @@ def search_general(
             array, t, exact, exact, examined, "permutation-search"
         )
         _search_memo_store(memo_key, result)
+        _search_store_put(store, "general", sig, array, {}, result)
         return result
 
 
@@ -803,18 +975,23 @@ def search_best_transformation(
     bound: int = 6,
     workers: int = 0,
     engine: str = "auto",
+    store=None,
 ) -> SearchResult:
     """Depth dispatcher used by the Figure-2 harness."""
     depth = program.nest.depth
     if depth == 2:
         return search_mws_2d(
-            program, array, bound=bound, workers=workers, engine=engine
+            program, array, bound=bound, workers=workers, engine=engine,
+            store=store,
         )
     if depth == 3:
         return search_mws_3d(
-            program, array, bound=min(bound, 2), workers=workers, engine=engine
+            program, array, bound=min(bound, 2), workers=workers,
+            engine=engine, store=store,
         )
-    return search_general(program, array, workers=workers, engine=engine)
+    return search_general(
+        program, array, workers=workers, engine=engine, store=store
+    )
 
 
 def exhaustive_search(
@@ -824,6 +1001,7 @@ def exhaustive_search(
     tileable_only: bool = True,
     workers: int = 0,
     engine: str = "auto",
+    store=None,
 ) -> SearchResult:
     """Brute-force over all bounded unimodular matrices, exact scoring.
 
@@ -864,7 +1042,8 @@ def exhaustive_search(
         if not legal:
             raise ValueError(f"no legal transformation found for {array}")
         outcomes = evaluate_cascade(
-            program, legal, array=array, workers=workers, engine=engine
+            program, legal, array=array, workers=workers, engine=engine,
+            store=store,
         )
         best = None
         for t, outcome in zip(legal, outcomes):

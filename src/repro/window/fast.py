@@ -31,6 +31,7 @@ from typing import NamedTuple, Sequence
 import numpy as np
 
 from repro import obs
+from repro.envutil import env_int
 from repro.ir.program import Program
 from repro.linalg import IntMatrix
 
@@ -52,10 +53,7 @@ DEFAULT_DENSE_BUDGET = 2**26
 
 def dense_budget() -> int:
     """Iteration ceiling for dense enumeration (env-overridable)."""
-    raw = os.environ.get(DENSE_BUDGET_ENV)
-    if raw is None:
-        return DEFAULT_DENSE_BUDGET
-    return int(raw)
+    return env_int(DENSE_BUDGET_ENV, DEFAULT_DENSE_BUDGET)
 
 
 class _ElementState(NamedTuple):

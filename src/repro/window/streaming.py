@@ -25,12 +25,12 @@ allocating O(N) rank arrays.
 from __future__ import annotations
 
 import math
-import os
 from typing import Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.envutil import env_int
 from repro.ir.program import Program
 from repro.linalg import IntMatrix
 from repro.window.fast import (
@@ -52,13 +52,7 @@ CHUNK_ENV = "REPRO_STREAM_CHUNK"
 
 def stream_chunk() -> int:
     """Block size used by the streaming engine (env-overridable)."""
-    raw = os.environ.get(CHUNK_ENV)
-    if raw is None:
-        return DEFAULT_CHUNK
-    value = int(raw)
-    if value < 1:
-        raise ValueError(f"{CHUNK_ENV} must be >= 1, got {value}")
-    return value
+    return env_int(CHUNK_ENV, DEFAULT_CHUNK)
 
 
 def _decode_block(

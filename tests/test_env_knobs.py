@@ -1,0 +1,110 @@
+"""Validation of the numeric environment knobs and the workers count.
+
+ISSUE 5 satellites: ``dense_budget()``, ``clip_budget()`` and
+``stream_chunk()`` all read their env var through the shared
+:func:`repro.envutil.env_int` helper, so a typo'd value fails fast with
+the variable's name in the message, and zero/negative budgets — which
+used to silently disable dense mode or tier-2 pruning — are rejected.
+Negative ``workers`` counts are rejected at the search entry point
+instead of surfacing as an opaque ``ProcessPoolExecutor`` error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.envutil import env_int
+from repro.estimation.bounds import CLIP_BUDGET_ENV, DEFAULT_CLIP_BUDGET, clip_budget
+from repro.window.fast import DEFAULT_DENSE_BUDGET, DENSE_BUDGET_ENV, dense_budget
+from repro.window.streaming import CHUNK_ENV, DEFAULT_CHUNK, stream_chunk
+
+KNOBS = [
+    (DENSE_BUDGET_ENV, dense_budget, DEFAULT_DENSE_BUDGET),
+    (CLIP_BUDGET_ENV, clip_budget, DEFAULT_CLIP_BUDGET),
+    (CHUNK_ENV, stream_chunk, DEFAULT_CHUNK),
+]
+
+
+class TestEnvInt:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert env_int("REPRO_TEST_KNOB", 42) == 42
+
+    def test_valid_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "17")
+        assert env_int("REPRO_TEST_KNOB", 42) == 17
+
+    def test_garbage_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "lots")
+        with pytest.raises(ValueError, match="REPRO_TEST_KNOB.*'lots'"):
+            env_int("REPRO_TEST_KNOB", 42)
+
+    def test_below_minimum_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "3")
+        with pytest.raises(ValueError, match="REPRO_TEST_KNOB must be >= 8"):
+            env_int("REPRO_TEST_KNOB", 42, minimum=8)
+
+    def test_minimum_is_inclusive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "8")
+        assert env_int("REPRO_TEST_KNOB", 42, minimum=8) == 8
+
+
+@pytest.mark.parametrize(
+    "env_name,knob,default", KNOBS, ids=[k[0] for k in KNOBS]
+)
+class TestBudgetKnobs:
+    def test_default_when_unset(self, monkeypatch, env_name, knob, default):
+        monkeypatch.delenv(env_name, raising=False)
+        assert knob() == default
+
+    def test_override(self, monkeypatch, env_name, knob, default):
+        monkeypatch.setenv(env_name, "1234")
+        assert knob() == 1234
+
+    def test_garbage_raises_with_name(self, monkeypatch, env_name, knob, default):
+        monkeypatch.setenv(env_name, "not-a-number")
+        with pytest.raises(ValueError, match=env_name):
+            knob()
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "-4096"])
+    def test_zero_and_negative_rejected(
+        self, monkeypatch, env_name, knob, default, bad
+    ):
+        monkeypatch.setenv(env_name, bad)
+        with pytest.raises(ValueError, match=f"{env_name} must be >= 1"):
+            knob()
+
+
+class TestNegativeWorkers:
+    def test_resolve_workers_rejects_negative(self):
+        from repro.transform.search import _resolve_workers
+
+        with pytest.raises(ValueError, match="workers must be >= 0.*-2"):
+            _resolve_workers(-2)
+
+    def test_resolve_workers_accepts_zero_and_none(self):
+        from repro.transform.search import _resolve_workers
+
+        assert _resolve_workers(0) == 0
+        assert _resolve_workers(3) == 3
+        assert _resolve_workers(None) >= 1
+
+    def test_evaluate_exact_rejects_negative_workers(self):
+        from repro.ir import parse_program
+        from repro.transform.search import evaluate_exact
+
+        program = parse_program(
+            "for i = 1 to 4 { for j = 1 to 4 { A[i][j] = A[i][j] } }"
+        )
+        with pytest.raises(ValueError, match="workers must be >= 0"):
+            evaluate_exact(program, [None], workers=-1)
+
+    def test_search_rejects_negative_workers(self):
+        from repro.ir import parse_program
+        from repro.transform.search import search_mws_2d
+
+        program = parse_program(
+            "for i = 1 to 8 { for j = 1 to 8 { X[i + j] = X[i + j + 1] } }"
+        )
+        with pytest.raises(ValueError, match="workers must be >= 0"):
+            search_mws_2d(program, "X", workers=-4)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""CI gate: a store-warm re-run must be fast and byte-identical.
+
+Runs the given ``repro`` subcommand twice as subprocesses against a
+fresh result store (``--store`` into a temp directory), then asserts
+
+* the two stdouts are byte-identical (the store changes *when* results
+  are computed, never *what* they are), and
+* the warm run takes less than ``1 / min_speedup`` of the cold run's
+  wall time (default: warm < 50% of cold, i.e. >= 2x).
+
+Usage::
+
+    python tools/check_warm_store.py [--min-speedup 2.0] -- \
+        batch benchmarks/manifests/figure2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def run_once(store_dir: str, repro_args: list[str]) -> tuple[float, bytes]:
+    cmd = [sys.executable, "-m", "repro", "--store", store_dir, *repro_args]
+    start = time.perf_counter()
+    proc = subprocess.run(cmd, capture_output=True)
+    wall = time.perf_counter() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr.decode(errors="replace"))
+        raise SystemExit(f"command failed ({proc.returncode}): {' '.join(cmd)}")
+    return wall, proc.stdout
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="required cold/warm wall-time ratio (default 2.0)",
+    )
+    parser.add_argument(
+        "repro_args",
+        nargs=argparse.REMAINDER,
+        help="repro subcommand and arguments (after --)",
+    )
+    args = parser.parse_args(argv)
+    repro_args = [a for a in args.repro_args if a != "--"]
+    if not repro_args:
+        parser.error("no repro subcommand given")
+
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as store_dir:
+        cold_s, cold_out = run_once(store_dir, repro_args)
+        records = sum(1 for _ in Path(store_dir).glob("*/*/*.json"))
+        warm_s, warm_out = run_once(store_dir, repro_args)
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"cold: {cold_s:.3f}s  warm: {warm_s:.3f}s  "
+          f"speedup: {speedup:.2f}x  store records: {records}")
+
+    ok = True
+    if warm_out != cold_out:
+        print("FAIL: warm stdout differs from cold stdout", file=sys.stderr)
+        ok = False
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: warm run not fast enough "
+            f"({speedup:.2f}x < {args.min_speedup:g}x required)",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print(f"OK: identical output, warm >= {args.min_speedup:g}x faster")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
