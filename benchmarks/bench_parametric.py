@@ -1,0 +1,98 @@
+"""Parametric engine: derive once, substitute for every problem size.
+
+The paper states MWS as a function of the loop limits; the parametric
+engine makes that operational — one closed form per program *family*
+answers every bound vector by substitution.  This benchmark pins the
+payoff: answering a sweep of problem sizes for Example 8's access
+pattern by derive-once-substitute-many must beat simulating each size
+by at least 10x (the CI gate pins the recorded ratio via
+benchmarks/baselines/BENCH_parametric.json; the in-bench assertion
+enforces the same floor directly).
+"""
+
+BENCH_NAME = "parametric"
+
+import timeit
+
+from conftest import record
+
+from repro.estimation.parametric import (
+    clear_param_cache,
+    resolve_parametric,
+    with_trip_counts,
+)
+from repro.ir import parse_program
+from repro.window import max_window_size
+
+EXAMPLE_8 = """
+for i = 1 to 25 {
+  for j = 1 to 10 {
+    X[2*i + 5*j] = X[2*i + 5*j]
+  }
+}
+"""
+
+#: The size sweep a designer would ask about: one access pattern, many
+#: candidate image sizes.  Sized so per-size simulation dominates (the
+#: derivation grid itself only ever simulates tiny resized programs).
+SIZES = [(256 * k, 256 * k) for k in range(1, 7)]
+
+
+def test_parametric_derivation(benchmark):
+    """Cost and result of one cold derivation (grid + verification)."""
+    program = parse_program(EXAMPLE_8)
+
+    def derive():
+        clear_param_cache()
+        return resolve_parametric(program, "mws", array="X")
+
+    pe = benchmark(derive)
+    assert pe is not None
+    assert pe.substitute((25, 10)) == 40  # the exact value, not eq. (2)'s 50
+    record(
+        benchmark,
+        expr=str(pe.expr),
+        method=pe.method,
+        domain=str(pe.domain),
+        verified_points=pe.checked,
+    )
+
+
+def test_parametric_sweep_speedup(benchmark):
+    """Derive-once-substitute-many vs simulate-each-size (the 10x gate)."""
+    program = parse_program(EXAMPLE_8)
+
+    def simulate_each():
+        return [
+            max_window_size(with_trip_counts(program, trips), "X")
+            for trips in SIZES
+        ]
+
+    def derive_and_substitute():
+        clear_param_cache()
+        pe = resolve_parametric(program, "mws", array="X")
+        return [pe.substitute(trips) for trips in SIZES]
+
+    assert derive_and_substitute() == simulate_each()  # exactness first
+
+    def measure():
+        simulated_s = min(timeit.repeat(simulate_each, number=1, repeat=3))
+        parametric_s = min(
+            timeit.repeat(derive_and_substitute, number=1, repeat=3)
+        )
+        return simulated_s, parametric_s
+
+    simulated_s, parametric_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = simulated_s / parametric_s
+    assert speedup >= 10.0, (
+        f"parametric sweep speedup {speedup:.1f}x below the 10x floor"
+    )
+    record(
+        benchmark,
+        speedup=round(speedup, 2),
+        simulate_wall=round(simulated_s, 6),
+        parametric_wall=round(parametric_s, 6),
+        sizes=len(SIZES),
+    )

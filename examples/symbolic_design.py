@@ -6,22 +6,43 @@ them symbolic answers the designer's inverse question directly: given an
 SRAM budget, how large a problem fits?  And under which transformation
 does the required window stop growing with the image size?
 
+Two layers are on show: the paper's own formulas (fast, but estimates —
+eq. (2) says 50 for Example 8 where the truth is 40) and the parametric
+engine, which interpolates the *exact* window engines into a verified
+closed form and then answers any problem size by substitution.
+
 Run:  python examples/symbolic_design.py
 """
 
 import sympy
 
+from repro.estimation.parametric import with_trip_counts
 from repro.estimation.symbolic import (
+    derive_parametric_distinct,
     max_problem_size,
     symbolic_distinct_accesses,
 )
 from repro.ir import parse_program
-from repro.window.symbolic import scaling_exponent, symbolic_mws_2d, symbolic_mws_3d
+from repro.window import max_window_size
+from repro.window.symbolic import (
+    derive_parametric_mws,
+    scaling_exponent,
+    symbolic_mws_2d,
+    symbolic_mws_3d,
+)
 
 STENCIL = """
 for i = 1 to 10 {
   for j = 1 to 10 {
     A[i][j] = A[i-1][j+2]
+  }
+}
+"""
+
+EXAMPLE_8 = """
+for i = 1 to 25 {
+  for j = 1 to 10 {
+    X[2*i + 5*j] = X[2*i + 5*j]
   }
 }
 """
@@ -39,6 +60,30 @@ def main() -> None:
     for capacity in (1024, 8192, 65536):
         best = max_problem_size(expr, syms, capacity)
         print(f"  {capacity:>6} words -> N = {best}")
+    print()
+
+    example8 = parse_program(EXAMPLE_8, name="example8")
+    print("--- exact parametric MWS (Example 8 access) ---")
+    estimate, _ = symbolic_mws_2d(2, 5, 1, 0)
+    pe = derive_parametric_mws(example8, "X")
+    print(f"  eq. (2) estimate : MWS ~ {estimate}")
+    print(f"  derived exact    : MWS = {pe.expr}   "
+          f"[{pe.method}, domain N >= {pe.domain}]")
+    print("  one derivation answers every size; the simulator confirms:")
+    for trips in [(25, 10), (64, 32), (640, 480)]:
+        substituted = pe.substitute(trips)
+        simulated = max_window_size(with_trip_counts(example8, trips), "X")
+        assert substituted == simulated
+        print(f"    N = {trips}: substitute {substituted}  "
+              f"(simulated {simulated}, estimate "
+              f"{estimate.subs(dict(zip(pe.symbols, trips)))})")
+    print()
+
+    print("--- exact parametric footprint (Example 2 stencil) ---")
+    pd = derive_parametric_distinct(program, "A")
+    print(f"  A_d = {sympy.expand(pd.expr)}   [{pd.method}]")
+    print(f"  A_d(100, 100) = {pd.substitute((100, 100))} "
+          "(no enumeration at that size)")
     print()
 
     print("--- window scaling under transformations (Example 8 access) ---")

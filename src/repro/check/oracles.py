@@ -747,6 +747,141 @@ class OffsetTranslationInvariance(Oracle):
         return None
 
 
+# ----------------------------------------------------------------------
+# parametric conformance oracles
+# ----------------------------------------------------------------------
+
+def _parametric_sample(
+    domain: tuple[int, ...], seed: int, count: int = 6, spread: int = 6
+) -> list[tuple[int, ...]]:
+    """At least ``count`` in-domain bound vectors, corners first.
+
+    The high corner plus per-axis low corners (one trip count at its
+    domain minimum while the rest sit high) are the vectors most likely
+    to expose a regime the derivation's own verification missed; the
+    rest is random fill, deterministic in ``(seed, domain)``.
+    """
+    rng = random.Random(f"param-oracle:{seed}:{domain}")
+    points = {tuple(d + spread for d in domain)}
+    for j in range(len(domain)):
+        corner = [d + spread for d in domain]
+        corner[j] = domain[j]
+        points.add(tuple(corner))
+    while len(points) < count:
+        points.add(tuple(d + rng.randint(0, spread) for d in domain))
+    return sorted(points)
+
+
+@register
+class ParametricMwsConformance(Oracle):
+    name = "parametric-mws-conformance"
+    kind = "cross"
+    paper = (
+        "The paper states MWS as a function of the loop limits; a "
+        "derived closed form must therefore reproduce the exact engines "
+        "at every bound vector in its domain — native and under a "
+        "candidate execution order.  Derivation declining (returning "
+        "None) is the designed fallback, not a violation."
+    )
+    config = GeneratorConfig(depth=2, min_trip=2, max_trip=6, max_coeff=2)
+
+    def check(self, program: Program, seed: int = 0) -> Violation | None:
+        from repro.estimation.parametric import (
+            parametric_signature,
+            with_trip_counts,
+        )
+        from repro.window.symbolic import derive_parametric_mws
+
+        t = _seed_transformation(program, seed)
+        psig = parametric_signature(program)
+        for array in program.arrays:
+            for transformation in (None, t):
+                pe = derive_parametric_mws(
+                    program, array, transformation, seed=seed
+                )
+                if pe is None:
+                    continue  # fallback contract: simulation answers instead
+                where = (
+                    "native" if transformation is None
+                    else f"T={transformation.rows}"
+                )
+                for trips in _parametric_sample(pe.domain, seed):
+                    value = pe.substitute(trips)
+                    if value is None:
+                        return self.fail(
+                            f"array {array} ({where}): in-domain vector "
+                            f"{trips} refused by a verified expression "
+                            f"{pe.expr} (domain {pe.domain})",
+                            program,
+                        )
+                    resized = with_trip_counts(program, trips)
+                    if parametric_signature(resized) != psig:
+                        return self.fail(
+                            f"parametric signature not bound-invariant at "
+                            f"{trips}",
+                            program,
+                        )
+                    engines = _mws_all_engines(resized, array, transformation)
+                    wrong = {k: v for k, v in engines.items() if v != value}
+                    if wrong:
+                        return self.fail(
+                            f"array {array} ({where}) at N={trips}: "
+                            f"substituted {pe.expr} = {value} but engines "
+                            f"say {wrong}",
+                            program,
+                        )
+        return None
+
+
+@register
+class ParametricDistinctConformance(Oracle):
+    name = "parametric-distinct-conformance"
+    kind = "cross"
+    paper = (
+        "Section 3 derives A_d as an expression in the loop limits; the "
+        "derived parametric count (paper closed form or interpolated) "
+        "must equal the enumeration oracle at every sampled bound "
+        "vector in its domain."
+    )
+    config = GeneratorConfig(depth=2, min_trip=2, max_trip=8)
+
+    def generate(self, seed: int) -> Program:
+        cfg = self.config
+        if seed % 4 == 3:
+            cfg = GeneratorConfig(depth=3, min_trip=2, max_trip=4, max_coeff=2)
+        return random_program(seed, cfg)
+
+    def check(self, program: Program, seed: int = 0) -> Violation | None:
+        from repro.estimation.exact import exact_distinct_accesses
+        from repro.estimation.parametric import with_trip_counts
+        from repro.estimation.symbolic import derive_parametric_distinct
+
+        for array in program.arrays:
+            pe = derive_parametric_distinct(program, array, seed=seed)
+            if pe is None:
+                continue  # fallback contract: enumeration answers instead
+            for trips in _parametric_sample(pe.domain, seed):
+                value = pe.substitute(trips)
+                if value is None:
+                    return self.fail(
+                        f"array {array}: in-domain vector {trips} refused "
+                        f"by a verified expression {pe.expr} "
+                        f"(domain {pe.domain})",
+                        program,
+                    )
+                truth = exact_distinct_accesses(
+                    with_trip_counts(program, trips), array
+                )
+                if truth != value:
+                    return self.fail(
+                        f"array {array} at N={trips}: substituted "
+                        f"{pe.expr} = {value} ({pe.method}) but "
+                        f"enumeration counts {truth}",
+                        program,
+                    )
+        return None
+
+
 @register
 class TimeReversalInvariance(Oracle):
     name = "time-reversal-mws-invariance"

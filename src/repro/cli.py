@@ -10,6 +10,8 @@
     python -m repro distribute loop.txt     # legal loop fission
     python -m repro viz loop.txt            # reuse region / window profile art
     python -m repro figure2 [--kernel sor]  # regenerate the paper's table
+    python -m repro param sor --sizes 32x32,64x64
+                                            # closed forms in the loop bounds
     python -m repro bench --chunk-sweep     # streaming-engine chunk sweep
     python -m repro check --seeds 500       # fuzz the conformance oracles
     python -m repro check --replay f.json   # replay one corpus counterexample
@@ -75,7 +77,8 @@ def _cmd_dependences(args: argparse.Namespace) -> int:
 def _cmd_optimize(args: argparse.Namespace) -> int:
     program = _load(args.file)
     result = optimize_program(
-        program, workers=args.workers, engine=args.engine, store=args.store_obj
+        program, workers=args.workers, engine=args.engine,
+        store=args.store_obj, parametric=args.parametric,
     )
     print(f"MWS before : {result.mws_before}")
     print(f"MWS after  : {result.mws_after}")
@@ -208,6 +211,84 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     reconciliation, ok = render_reconciliation(jr, counters)
     print(reconciliation)
     return 0 if ok else 1
+
+
+def _cmd_param(args: argparse.Namespace) -> int:
+    from repro.estimation.parametric import resolve_parametric, with_trip_counts
+
+    if Path(args.target).exists():
+        program = _load(args.target)
+    else:
+        from repro.kernels import kernel_by_name
+
+        program = kernel_by_name(args.target).build()
+    arrays = [args.array] if args.array else list(program.arrays)
+    depth = program.nest.depth
+    sizes: list[tuple[int, ...]] = [program.nest.trip_counts]
+    if args.sizes:
+        sizes = []
+        for chunk in args.sizes.split(","):
+            trips = tuple(int(v) for v in chunk.lower().split("x"))
+            if len(trips) != depth or any(t < 1 for t in trips):
+                raise ValueError(
+                    f"size {chunk!r} does not fit a depth-{depth} nest"
+                )
+            sizes.append(trips)
+    status = 0
+    for array in arrays:
+        print(f"array {array}:")
+        derived = {}
+        for kind in ("mws", "distinct", "reuse"):
+            pe = resolve_parametric(
+                program, kind, array=array, store=args.store_obj,
+                engine=args.engine,
+            )
+            derived[kind] = pe
+            if pe is None:
+                print(f"  {kind:<9}: no closed form (simulation fallback)")
+            else:
+                provenance = (
+                    f"verified on {pe.checked} bound vectors"
+                    if pe.checked else "exact by construction"
+                )
+                print(f"  {kind:<9}: {pe.expr}   "
+                      f"[{pe.method}, domain N >= {pe.domain}, {provenance}]")
+        header = f"  {'size':>14} {'mws':>10} {'distinct':>10}"
+        print(header + ("   check" if args.check else ""))
+        for trips in sizes:
+            cells = []
+            checks = []
+            for kind in ("mws", "distinct"):
+                pe = derived[kind]
+                value = pe.substitute(trips) if pe is not None else None
+                cells.append("-" if value is None else str(value))
+                if args.check:
+                    resized = with_trip_counts(program, trips)
+                    if kind == "mws":
+                        from repro.window.simulator import max_window_size
+
+                        truth = max_window_size(
+                            resized, array, engine=args.engine
+                        )
+                    else:
+                        from repro.estimation.exact import (
+                            exact_distinct_accesses,
+                        )
+
+                        truth = exact_distinct_accesses(resized, array)
+                    if value is None:
+                        checks.append(f"{kind}={truth}(sim)")
+                    elif value == truth:
+                        checks.append(f"{kind}=ok")
+                    else:
+                        checks.append(f"{kind}=MISMATCH({truth})")
+                        status = 1
+            label = "x".join(str(t) for t in trips)
+            line = f"  {label:>14} {cells[0]:>10} {cells[1]:>10}"
+            if args.check:
+                line += "   " + " ".join(checks)
+            print(line)
+    return status
 
 
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
@@ -402,6 +483,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("optimize", help="search the MWS-minimizing transformation")
     p.add_argument("file")
     p.add_argument("--codegen", action="store_true", help="emit transformed source")
+    p.add_argument(
+        "--parametric",
+        action="store_true",
+        help="answer candidate scores from derived closed forms where possible",
+    )
     p.set_defaults(func=_cmd_optimize)
 
     p = sub.add_parser("size", help="provision an on-chip buffer")
@@ -437,6 +523,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--array", help="array name (default: first referenced)")
     p.add_argument("--bound", type=int, default=6, help="candidate entry bound")
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "param",
+        help="derive closed-form MWS/distinct expressions in the loop "
+             "bounds and substitute concrete sizes",
+    )
+    p.add_argument("target", help="kernel name (e.g. sor) or loop-nest file")
+    p.add_argument("--array", help="array name (default: all referenced)")
+    p.add_argument(
+        "--sizes",
+        metavar="N1xN2,...",
+        help="comma-separated trip-count vectors to substitute "
+             "(default: the program's own bounds)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="verify every substituted value against the exact engines "
+             "(exit 1 on mismatch)",
+    )
+    p.set_defaults(func=_cmd_param)
 
     p = sub.add_parser(
         "bench-compare",

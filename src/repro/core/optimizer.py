@@ -126,7 +126,8 @@ def _access_embeddings(
 
 
 def optimize_program(
-    program: Program, workers: int = 0, engine: str = "auto", store=None
+    program: Program, workers: int = 0, engine: str = "auto", store=None,
+    parametric: bool = False,
 ) -> OptimizationResult:
     """Choose the legal transformation minimizing total MWS.
 
@@ -145,6 +146,9 @@ def optimize_program(
     (:data:`repro.window.ENGINES`).  ``store`` (a
     :class:`repro.store.ResultStore`) persists search results and exact
     values, so a warm process re-optimizes without simulating.
+    ``parametric=True`` answers candidate scores from derived
+    closed-form expressions where the parametric engine covers them
+    (identical values; see :func:`repro.transform.search.evaluate_exact`).
     """
     from repro.transform.search import evaluate_cascade
 
@@ -156,7 +160,7 @@ def optimize_program(
         obs.counter("optimize.candidates", len(candidates))
         outcomes = evaluate_cascade(
             program, [None] + candidates, array=None, workers=workers,
-            engine=engine, store=store,
+            engine=engine, store=store, parametric=parametric,
         )
         before = outcomes[0].value
         best_t = IntMatrix.identity(program.nest.depth)

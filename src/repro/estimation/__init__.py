@@ -1,8 +1,9 @@
 """Section 3: estimating the number of distinct accesses in nested loops.
 
 Closed forms for uniformly generated references (exact), Sylvester-corrected
-bounds for non-uniformly generated references, an enumeration oracle, and
-the program-level total-memory algorithm.
+bounds for non-uniformly generated references, an enumeration oracle, the
+program-level total-memory algorithm, and the parametric engine that
+derives those counts as verified closed forms in symbolic trip counts.
 """
 
 from repro.estimation.distinct import (
@@ -29,6 +30,17 @@ from repro.estimation.memory import (
     ProgramMemoryReport,
     estimate_program_memory,
 )
+from repro.estimation.parametric import (
+    ParametricExpr,
+    parametric_signature,
+    parametric_value,
+    resolve_parametric,
+    with_trip_counts,
+)
+from repro.estimation.symbolic import (
+    derive_parametric_distinct,
+    derive_parametric_reuse,
+)
 
 __all__ = [
     "DistinctAccessEstimate",
@@ -45,4 +57,11 @@ __all__ = [
     "ArrayMemoryReport",
     "ProgramMemoryReport",
     "estimate_program_memory",
+    "ParametricExpr",
+    "parametric_signature",
+    "parametric_value",
+    "resolve_parametric",
+    "with_trip_counts",
+    "derive_parametric_distinct",
+    "derive_parametric_reuse",
 ]

@@ -30,6 +30,32 @@ def trip_symbols(depth: int) -> tuple[sympy.Symbol, ...]:
     )
 
 
+def symbolic_reuse_clamped(
+    distances: Sequence[Sequence[int]],
+    trips: Sequence[sympy.Expr],
+) -> sympy.Expr:
+    """``sum_k prod_j Max(0, N_j - |d_kj|)`` — the guarded reuse count.
+
+    Unlike :func:`symbolic_reuse`, valid for *every* positive bound
+    vector: when a distance component exceeds its trip count the term
+    clamps to zero instead of going negative, exactly as the numeric
+    :func:`repro.estimation.distinct.reuse_from_distances` does.
+
+    >>> n1, n2 = trip_symbols(2)
+    >>> symbolic_reuse_clamped([(1, -2)], (n1, n2)).subs({n1: 5, n2: 2})
+    0
+    """
+    total = sympy.Integer(0)
+    for d in distances:
+        if len(d) != len(trips):
+            raise ValueError("distance arity != nest depth")
+        term = sympy.Integer(1)
+        for n, dj in zip(trips, d):
+            term *= sympy.Max(0, n - abs(dj))
+        total += term
+    return total
+
+
 def symbolic_reuse(
     distances: Sequence[Sequence[int]],
     trips: Sequence[sympy.Expr],
@@ -99,6 +125,108 @@ def symbolic_distinct_accesses(
     raise ValueError(
         f"{array}: no paper closed form for multiple kernel-reuse references; "
         "use repro.estimation.multiref for the exact numeric count"
+    )
+
+
+def derive_parametric_distinct(program: Program, array: str, seed: int = 0):
+    """Exact ``A_d`` as a closed form in the trip counts, or ``None``.
+
+    Strategy: try the paper's closed form first
+    (:func:`symbolic_distinct_accesses`) and keep it only if it matches
+    the exact enumerative counter on every held-out bound vector — the
+    paper's dispatch is exact for its covered cases, but the verification
+    makes that an observed fact rather than an assumption.  Where no
+    closed form applies (non-uniform references, multiple kernel-reuse
+    references) fall back to exact polynomial interpolation of the
+    enumerative counter itself.  Either way the returned expression is
+    exact on its domain; ``None`` means "enumerate instead".
+
+    >>> from repro.ir import parse_program
+    >>> p = parse_program('''
+    ... for i = 1 to 10 {
+    ...   for j = 1 to 10 {
+    ...     A[i][j] = A[i-1][j+2]
+    ...   }
+    ... }
+    ... ''')
+    >>> pe = derive_parametric_distinct(p, "A")
+    >>> sympy.expand(pe.expr)
+    N1*N2 + 2*N1 + N2 - 2
+    >>> pe.substitute((10, 10))
+    128
+    """
+    import random
+
+    from repro.estimation.exact import exact_distinct_accesses
+    from repro.estimation.parametric import (
+        ParametricExpr,
+        derivation_base,
+        derivation_feasible,
+        derivation_supported,
+        derive_polynomial,
+        verify_expression,
+        with_trip_counts,
+    )
+
+    if not derivation_supported(program, array):
+        return None
+    depth = program.nest.depth
+    base = derivation_base(program, array)
+
+    def evaluate(trips: tuple[int, ...]) -> int:
+        return exact_distinct_accesses(with_trip_counts(program, trips), array)
+
+    try:
+        expr, symbols = symbolic_distinct_accesses(program, array)
+    except (KeyError, ValueError):
+        expr = None
+    if expr is not None and derivation_feasible(base, 5):
+        rng = random.Random(f"param-distinct:{seed}:{depth}:{base}")
+        checked = verify_expression(expr, symbols, evaluate, base, 5, rng)
+        if checked is not None:
+            return ParametricExpr(
+                "distinct", array, expr, tuple(symbols), base,
+                "closed-form", checked,
+            )
+    fit = derive_polynomial(evaluate, depth, base, seed=seed)
+    if fit is None:
+        return None
+    expr, symbols, checked, method = fit
+    return ParametricExpr("distinct", array, expr, symbols, base, method, checked)
+
+
+def derive_parametric_reuse(program: Program, array: str, seed: int = 0):
+    """Paper Section 3 reuse count as a guarded closed form, or ``None``.
+
+    Built directly from the constant distance vectors (self reuse from
+    the access-matrix kernel, group reuse from offset differences) with
+    ``Max(0, ...)`` clamps, so it is valid at *every* positive bound
+    vector — the domain is all-ones.  ``None`` when the references admit
+    no constant distance vectors (non-uniform pairs).
+    """
+    from repro.estimation.parametric import ParametricExpr
+
+    refs = list(program.refs_to(array))
+    if not refs:
+        raise KeyError(array)
+    if not program.is_uniformly_generated(array):
+        return None
+    distances: list[tuple[int, ...]] = []
+    vector = self_reuse_distance(refs[0])
+    if vector is not None:
+        distances.append(vector)
+    if len(refs) > 1:
+        offsets = {r.offset for r in refs}
+        if len(offsets) > 1:
+            try:
+                distances.extend(group_reuse_distances(refs))
+            except (KeyError, ValueError):
+                return None
+    trips = trip_symbols(program.nest.depth)
+    expr = symbolic_reuse_clamped(distances, trips)
+    return ParametricExpr(
+        "reuse", array, expr, trips, (1,) * program.nest.depth,
+        "closed-form", 0,
     )
 
 

@@ -57,6 +57,7 @@ from typing import Sequence
 from repro import obs
 from repro.dependence.distance import lex_level
 from repro.estimation import bounds
+from repro.estimation.parametric import clear_param_cache, parametric_value
 from repro.ir.program import Program
 from repro.linalg import IntMatrix
 from repro.store.lru import LRUCache
@@ -127,6 +128,7 @@ def clear_exact_cache() -> None:
     """Drop all memoized exact-simulation results (tests, benchmarks)."""
     _EXACT_CACHE.clear()
     _SEARCH_CACHE.clear()
+    clear_param_cache()
 
 
 def clear_search_cache() -> None:
@@ -266,6 +268,7 @@ def evaluate_exact(
     stage: str = "evaluate",
     engine: str = "auto",
     store=None,
+    parametric: bool = False,
 ) -> list[int]:
     """Exact MWS for each candidate transformation, in candidate order.
 
@@ -283,12 +286,23 @@ def evaluate_exact(
     engine-independent because all engines agree exactly.  ``store``
     (a :class:`repro.store.ResultStore`) persists each exact value, so a
     later process skips the simulation entirely.
+
+    ``parametric=True`` consults the parametric engine before
+    simulating a miss: a closed form is derived once per program
+    *family* (bounds stripped — see
+    :func:`repro.estimation.parametric.parametric_signature`) and every
+    size inside its verified domain is answered by substitution.  The
+    values are identical to simulation (the derivation is verified
+    against the engines), so caches and stores are shared with the
+    non-parametric path; derivation failure or off-domain bounds fall
+    back to simulation (``param.fallback``).
     """
     workers = _resolve_workers(workers)
     sig = program.signature()
     jr = journal.active()
     results: list[int | None] = [None] * len(candidates)
     misses: list[int] = []
+    substituted = 0
     for idx, t in enumerate(candidates):
         hit = _EXACT_CACHE.get((sig, array, _t_key(t)))
         if hit is None and store is not None:
@@ -296,13 +310,30 @@ def evaluate_exact(
             if isinstance(persisted, int) and not isinstance(persisted, bool):
                 hit = persisted
                 _EXACT_CACHE.put((sig, array, _t_key(t)), hit)
+        if hit is None and parametric:
+            value = parametric_value(
+                program, "mws", array=array, transformation=t,
+                store=store, engine=engine,
+            )
+            if value is not None:
+                substituted += 1
+                hit = value
+                _EXACT_CACHE.put((sig, array, _t_key(t)), hit)
+                if store is not None:
+                    store.put(
+                        "exact", _exact_store_key(sig, array, _t_key(t)), hit
+                    )
+                if jr is not None:
+                    jr.record(stage, _t_key(t), "parametric", exact=hit)
+                results[idx] = hit
+                continue
         if hit is None:
             misses.append(idx)
         else:
             results[idx] = hit
             if jr is not None:
                 jr.record(stage, _t_key(t), "cache_hit", exact=hit)
-    obs.counter("search.cache.hits", len(candidates) - len(misses))
+    obs.counter("search.cache.hits", len(candidates) - len(misses) - substituted)
     obs.counter("search.cache.misses", len(misses))
     if misses:
         parallel = workers > 1 and len(misses) >= PARALLEL_THRESHOLD
@@ -396,6 +427,7 @@ def evaluate_cascade(
     clip_budget: int | None = None,
     engine: str = "auto",
     store=None,
+    parametric: bool = False,
 ) -> list[CascadeOutcome]:
     """Tiered exact evaluation: certify, lower-bound, simulate survivors.
 
@@ -419,6 +451,11 @@ def evaluate_cascade(
     :func:`evaluate_exact`) and the whole outcome list, keyed by the
     candidate sequence and the resolved clip budget, so a warm process
     replays the cascade without touching the simulator.
+
+    ``parametric=True`` applies only to the survivor simulations: the
+    tier-2 lower-bound batch runs on the clipped sub-box program, whose
+    tiny bounds sit below any derived domain, so routing it through the
+    parametric engine would only pay derivation costs to fall back.
     """
     workers = _resolve_workers(workers)
     sig = program.signature()
@@ -512,7 +549,7 @@ def evaluate_cascade(
                 simulated += 1
                 value = evaluate_exact(
                     program, [t], array=array, workers=workers, engine=engine,
-                    store=store,
+                    store=store, parametric=parametric,
                 )[0]
                 outcome = CascadeOutcome(value, True, "simulated")
         if outcome.exact and (incumbent is None or outcome.value < incumbent):
@@ -659,6 +696,7 @@ def search_mws_2d(
     workers: int = 0,
     engine: str = "auto",
     store=None,
+    parametric: bool = False,
 ) -> SearchResult:
     """Find a tileable unimodular transformation minimizing the array's MWS.
 
@@ -771,7 +809,7 @@ def search_mws_2d(
         leaders = collected[:verify_top]
         exacts = evaluate_exact(
             program, [t for _, t in leaders], array=array, workers=workers,
-            engine=engine, store=store,
+            engine=engine, store=store, parametric=parametric,
         )
         best = None
         for (estimate, t), exact in zip(leaders, exacts):
@@ -796,6 +834,7 @@ def search_mws_3d(
     workers: int = 0,
     engine: str = "auto",
     store=None,
+    parametric: bool = False,
 ) -> SearchResult:
     """Section 4.3 search for 3-deep nests.
 
@@ -876,7 +915,7 @@ def search_mws_3d(
         leaders = candidates[:verify_top]
         exacts = evaluate_exact(
             program, leaders, array=array, workers=workers, engine=engine,
-            store=store,
+            store=store, parametric=parametric,
         )
         best = None
         for t, exact in zip(leaders, exacts):
@@ -895,6 +934,7 @@ def search_general(
     workers: int = 0,
     engine: str = "auto",
     store=None,
+    parametric: bool = False,
 ) -> SearchResult:
     """Depth-agnostic search: signed permutations + access embeddings.
 
@@ -952,7 +992,7 @@ def search_general(
         ordered = list(candidates)
         outcomes = evaluate_cascade(
             program, ordered, array=array, workers=workers, engine=engine,
-            store=store,
+            store=store, parametric=parametric,
         )
         best = None
         for t, outcome in zip(ordered, outcomes):
@@ -976,21 +1016,23 @@ def search_best_transformation(
     workers: int = 0,
     engine: str = "auto",
     store=None,
+    parametric: bool = False,
 ) -> SearchResult:
     """Depth dispatcher used by the Figure-2 harness."""
     depth = program.nest.depth
     if depth == 2:
         return search_mws_2d(
             program, array, bound=bound, workers=workers, engine=engine,
-            store=store,
+            store=store, parametric=parametric,
         )
     if depth == 3:
         return search_mws_3d(
             program, array, bound=min(bound, 2), workers=workers,
-            engine=engine, store=store,
+            engine=engine, store=store, parametric=parametric,
         )
     return search_general(
-        program, array, workers=workers, engine=engine, store=store
+        program, array, workers=workers, engine=engine, store=store,
+        parametric=parametric,
     )
 
 
@@ -1002,6 +1044,7 @@ def exhaustive_search(
     workers: int = 0,
     engine: str = "auto",
     store=None,
+    parametric: bool = False,
 ) -> SearchResult:
     """Brute-force over all bounded unimodular matrices, exact scoring.
 
@@ -1043,7 +1086,7 @@ def exhaustive_search(
             raise ValueError(f"no legal transformation found for {array}")
         outcomes = evaluate_cascade(
             program, legal, array=array, workers=workers, engine=engine,
-            store=store,
+            store=store, parametric=parametric,
         )
         best = None
         for t, outcome in zip(legal, outcomes):

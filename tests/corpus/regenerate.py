@@ -68,6 +68,112 @@ SEEDS = [
         note="conformance pin for the non-uniform bounds path",
     ),
     dict(
+        oracle="parametric-mws-conformance",
+        seed=0,
+        source=(
+            "for i1 = 1 to 25 { for i2 = 1 to 10 { "
+            "A0[2*i1 + 5*i2] = A0[2*i1 + 5*i2] } }"
+        ),
+        detail=(
+            "Example 8 parametric pin: eq. (2) estimates 50 at (25, 10) "
+            "but the exact window is 40 = 5*N2 - 10; the derived closed "
+            "form must reproduce the exact engines, not the estimate, at "
+            "every sampled bound vector."
+        ),
+        note="conformance pin for the parametric MWS derivation",
+    ),
+    dict(
+        oracle="parametric-mws-conformance",
+        seed=1060,
+        source=(
+            "for i1 = 1 to 3 { for i2 = 1 to 3 { "
+            "A0[-i1 - i2] = A0[-i1 - i2 + 4] } }"
+        ),
+        detail=(
+            "Diagonal-regime bug: under the seed-derived skewing order "
+            "T=((1,-1),(-1,0)) the exact MWS switches regime along "
+            "N1 == N2; the asymmetric derivation box (6,12)+spread sat "
+            "entirely on one side of that diagonal, so the degree-1 fit "
+            "2*N1 + 2 passed held-out verification yet overcounted by "
+            "one from (12,12) on.  Fixed by also verifying on the "
+            "square corners at max(base) (estimation/parametric.py)."
+        ),
+        note="shrunk by repro check from fuzz seed 1060",
+    ),
+    dict(
+        oracle="parametric-mws-conformance",
+        seed=1254,
+        source=(
+            "array A0[-6:5][-13:3]\n"
+            "for i1 = 1 to 5 {\n"
+            "  for i2 = 1 to 3 {\n"
+            "    S1: A0[i1 - i2][-2*i1 + i2 + 1]\n"
+            "    S2: A0[i1 - i2 - 4][-2*i1 + i2 - 4] = "
+            "A0[i1 - i2 + 1][-2*i1 + i2 + 2]\n"
+            "  }\n"
+            "}\n"
+        ),
+        detail=(
+            "Lex-orientation bug in the pairwise derivation base: "
+            "dependence_distance keeps only the lex-positive family "
+            "member, and with a nonsingular access matrix (empty "
+            "kernel) the solution of one pair orientation is "
+            "lex-negative and was dropped — here S1's read and S2's "
+            "write solve to d = (9, 13), so the base stayed at (6, 8) "
+            "and the deg-1 fit 2*N2 - 3 verified entirely below the "
+            "regime entering at (10, 14), undercounting the window by "
+            "the (N1 - 9)(N2 - 13) overlap.  Fixed by folding both "
+            "orientations of every pair (estimation/parametric.py)."
+        ),
+        note="fuzz seed 1254, pinned unshrunk (already 2 statements)",
+    ),
+    dict(
+        oracle="parametric-distinct-conformance",
+        seed=1007,
+        source=(
+            "array A0[1:1][-5:3][0:0]\n"
+            "for i1 = 1 to 1 {\n"
+            "  for i2 = 1 to 1 {\n"
+            "    for i3 = 1 to 1 {\n"
+            "      S1: A0[i3][-2*i1 + i3 - 4][0] = 0\n"
+            "      S2: A0[-i1 + 2*i3][-2*i1 + 2*i3 + 3][-2*i1 + 2*i3] = 0\n"
+            "    }\n"
+            "  }\n"
+            "}\n"
+        ),
+        detail=(
+            "Regime-blindness bug: the two writes have different access "
+            "matrices, so their images first intersect at N3 = 9 — a "
+            "regime boundary derivation_base cannot see from reuse "
+            "distances (the same fuzz range also caught the uniform "
+            "variant: pairwise A d = Δb solutions between references "
+            "with no common sink were dropped, leaving the base at its "
+            "floor).  The deg-1 fit verified entirely inside the "
+            "clamped regime and overcounted beyond it.  Fixed by "
+            "folding every pairwise distance into derivation_base, "
+            "uncapping it in favor of a derivation_feasible decline, "
+            "and refusing derivation outright for non-uniformly "
+            "generated multi-reference arrays "
+            "(estimation/parametric.py: derivation_supported)."
+        ),
+        note="shrunk by repro check from fuzz seed 1007",
+    ),
+    dict(
+        oracle="parametric-distinct-conformance",
+        seed=0,
+        source=(
+            "for i1 = 1 to 10 { for i2 = 1 to 10 { "
+            "A0[i1][i2] = A0[i1 - 1][i2 + 2] } }"
+        ),
+        detail=(
+            "Section 3 parametric pin: A_d = N1*N2 + 2*N1 + N2 - 2 for "
+            "the (1, -2) kernel-reuse stencil; the derived form must "
+            "match enumeration at every sampled bound vector, including "
+            "the per-axis corners where the reuse clamps."
+        ),
+        note="conformance pin for the parametric distinct-access derivation",
+    ),
+    dict(
         oracle="engines-agree-2d",
         seed=0,
         source=(

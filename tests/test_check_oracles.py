@@ -6,6 +6,7 @@ import pytest
 from repro.check import ORACLES, all_oracles, get_oracle, oracle_names
 from repro.check.oracles import (
     Oracle,
+    _parametric_sample,
     extend_outermost,
     register,
     relabel_signed_permutation,
@@ -26,11 +27,16 @@ EXAMPLE = parse_program(
 
 class TestRegistryShape:
     def test_minimum_oracle_counts(self):
-        """The acceptance floor: >= 8 oracles, >= 4 of each kind."""
+        """The acceptance floor: >= 10 oracles, >= 6 cross, >= 4 metamorphic."""
         oracles = all_oracles()
-        assert len(oracles) >= 8
-        assert sum(1 for o in oracles if o.kind == "cross") >= 4
+        assert len(oracles) >= 10
+        assert sum(1 for o in oracles if o.kind == "cross") >= 6
         assert sum(1 for o in oracles if o.kind == "metamorphic") >= 4
+
+    def test_parametric_tier_registered(self):
+        names = oracle_names()
+        assert "parametric-mws-conformance" in names
+        assert "parametric-distinct-conformance" in names
 
     def test_every_oracle_documents_its_paper_argument(self):
         for oracle in all_oracles():
@@ -135,7 +141,12 @@ def _sweep_cases():
     import zlib
 
     for oracle in all_oracles():
-        budget = 4 if "3d" in oracle.name else 12
+        if "3d" in oracle.name:
+            budget = 4
+        elif oracle.name.startswith("parametric"):
+            budget = 6  # each case derives closed forms: heavier per seed
+        else:
+            budget = 12
         # crc32, not hash(): the salt must survive PYTHONHASHSEED.
         for seed in fuzz_seeds(budget, salt=zlib.crc32(oracle.name.encode()) % 1000):
             yield pytest.param(oracle.name, seed, id=f"{oracle.name}-{seed}")
@@ -144,6 +155,55 @@ def _sweep_cases():
 @pytest.mark.parametrize("name,seed", list(_sweep_cases()))
 def test_oracle_sweep(name, seed, tmp_path):
     assert_oracle(name, seed, tmp_path)
+
+
+class TestParametricOracles:
+    def test_sample_floor_and_determinism(self):
+        """The acceptance bar: >= 5 in-domain vectors, pure in (seed, domain)."""
+        points = _parametric_sample((3, 5), seed=7)
+        assert points == _parametric_sample((3, 5), seed=7)
+        assert len(points) >= 5
+        assert all(a >= 3 and b >= 5 for a, b in points)
+
+    def test_sample_includes_regime_exposing_corners(self):
+        points = _parametric_sample((3, 5), seed=0, spread=6)
+        assert (9, 11) in points  # high corner
+        assert (3, 11) in points and (9, 5) in points  # per-axis minima
+
+    def test_example8_pin_passes(self):
+        """The paper's Example 8, where eq. (2) over-estimates: the
+        derived form must track the engines, natively and transformed."""
+        oracle = get_oracle("parametric-mws-conformance")
+        program = parse_program(
+            "for i1 = 1 to 25 { for i2 = 1 to 10 { "
+            "A0[2*i1 + 5*i2] = A0[2*i1 + 5*i2] } }",
+            name="ex8",
+        )
+        assert oracle.check(program, 0) is None
+
+    def test_distinct_oracle_flags_wrong_expression(self, monkeypatch):
+        """The oracle is live: a deliberately off-by-one expression in an
+        otherwise-valid ParametricExpr must produce a violation."""
+        import repro.estimation.symbolic as symbolic
+        from repro.estimation.parametric import ParametricExpr
+        from repro.estimation.symbolic import trip_symbols
+
+        syms = trip_symbols(2)
+        wrong = ParametricExpr(
+            "distinct", "A0", syms[0] * syms[1] + 1, syms, (2, 2),
+            "closed-form", 9,
+        )
+        monkeypatch.setattr(
+            symbolic, "derive_parametric_distinct",
+            lambda program, array, seed=0: wrong,
+        )
+        oracle = get_oracle("parametric-distinct-conformance")
+        program = parse_program(
+            "for i1 = 1 to 4 { for i2 = 1 to 4 { A0[i1][i2] = 0 } }"
+        )
+        violation = oracle.check(program, 0)
+        assert violation is not None
+        assert "enumeration counts" in violation.detail
 
 
 class TestOracleSelfChecks:

@@ -121,6 +121,32 @@ class TestSymbolicMws:
             numeric = mws_2d_estimate(alpha1, alpha2, n1, n2, a, b)
             assert sympy.Rational(str(numeric)) == sympy.nsimplify(symbolic)
 
+    @given(
+        st.integers(-4, 4),
+        st.integers(-4, 4),
+        st.integers(-3, 3),
+        st.integers(-3, 3),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_2d_matches_numeric_all_sign_regimes(self, alpha1, alpha2, a, b):
+        """Regression for the once-silent nonnegative-alpha assumption:
+        eq. (2)'s symbolic form must track the numeric estimator for
+        negated access rows and negated transformation rows too (the
+        absolute values in the window step and span denominators fold
+        the signs)."""
+        if (a, b) == (0, 0):
+            b = -2
+        expr, syms = symbolic_mws_2d(alpha1, alpha2, a, b)
+        for n1, n2 in ((10, 10), (25, 10), (7, 19), (3, 3)):
+            symbolic = expr.subs(dict(zip(syms, (n1, n2))))
+            numeric = mws_2d_estimate(alpha1, alpha2, n1, n2, a, b)
+            assert sympy.Rational(str(numeric)) == sympy.nsimplify(symbolic)
+
+    def test_2d_negated_rows_give_same_window(self):
+        reference = symbolic_mws_2d(2, 5, 1, 0)[0]
+        assert symbolic_mws_2d(-2, -5, 1, 0)[0] == reference
+        assert symbolic_mws_2d(2, 5, -1, 0)[0] == reference
+
     def test_3d_matches_numeric(self):
         expr, syms = symbolic_mws_3d((1, 3, -3))
         assert expr.subs(dict(zip(syms, (10, 20, 30)))) == mws_3d_estimate(
@@ -132,6 +158,29 @@ class TestSymbolicMws:
         assert expr.subs(dict(zip(syms, (5, 6, 7)))) == mws_3d_estimate(
             (2, -1, 4), (5, 6, 7)
         )
+
+    @given(
+        st.tuples(st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3)),
+        st.tuples(st.integers(1, 8), st.integers(1, 8), st.integers(1, 8)),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_3d_matches_numeric_randomized(self, vector, trips):
+        """Pins the Section 4.3 Piecewise: inside the fit region the
+        ``max(0, N - |d|)`` clamps of the numeric form are strictly
+        positive and drop out; outside it (some ``|d_j| >= N_j``) both
+        forms collapse to 1.  Randomized over signs *and* out-of-fit
+        bound vectors."""
+        if vector == (0, 0, 0):
+            vector = (1, 0, 0)
+        expr, syms = symbolic_mws_3d(vector)
+        assert expr.subs(dict(zip(syms, trips))) == mws_3d_estimate(
+            vector, trips
+        )
+
+    def test_3d_out_of_fit_collapses_to_one(self):
+        expr, syms = symbolic_mws_3d((1, 3, -3))
+        assert expr.subs(dict(zip(syms, (10, 3, 30)))) == 1
+        assert mws_3d_estimate((1, 3, -3), (10, 3, 30)) == 1
 
     def test_scaling_exponent_drops_after_embedding(self):
         # Before: MWS linear in N2 and N3; after the Section 4.3 embedding
