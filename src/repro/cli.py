@@ -16,6 +16,10 @@
     python -m repro check --seeds 500       # fuzz the conformance oracles
     python -m repro check --replay f.json   # replay one corpus counterexample
     python -m repro batch manifest.json     # batch-evaluate a manifest
+    python -m repro runs list               # run ledger: every recorded run
+    python -m repro runs diff last~1 last   # why do two runs differ?
+    python -m repro tail <run>              # live heartbeat view of a run
+    python -m repro bench-trend DIR...      # trend-check a BENCH_* trajectory
 
 Global flags (before the subcommand):
 
@@ -48,7 +52,10 @@ from repro.memory import size_memory_for_program
 
 def _load(path: str, name: str | None = None):
     text = Path(path).read_text()
-    return parse_program(text, name=name or Path(path).stem)
+    program = parse_program(text, name=name or Path(path).stem)
+    # Ledger provenance: every program a run touches, by content hash.
+    obs.runctx.note_input(program.name, program.signature())
+    return program
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -301,6 +308,131 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     comparison = compare_artifacts(old, new, threshold=args.threshold)
     print(render_comparison(comparison, verbose=args.verbose))
     return 0 if comparison.ok else 1
+
+
+def _cmd_bench_trend(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.reporting import compare_trajectory, render_trend
+
+    paths: list[Path] = []
+    for target in args.paths:
+        path = Path(target)
+        if path.is_dir():
+            paths.extend(sorted(path.rglob("BENCH_*.json")))
+        else:
+            paths.append(path)
+    by_bench: dict[str, list[dict]] = {}
+    for path in paths:
+        artifact = json.loads(path.read_text())
+        name = str(artifact.get("bench", path.stem))
+        by_bench.setdefault(name, []).append(artifact)
+    if not by_bench:
+        print("error: no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+    status = 0
+    for bench in sorted(by_bench):
+        report = compare_trajectory(
+            by_bench[bench], window=args.window, threshold=args.threshold
+        )
+        print(render_trend(report, verbose=args.verbose))
+        if not report.ok:
+            status = 1
+    return status
+
+
+def _resolve_sink_or_fail(args: argparse.Namespace):
+    from repro.obs import ledger as obs_ledger
+
+    sink = obs_ledger.resolve_sink(args.store_obj)
+    if sink is None:
+        print(
+            "error: no run ledger (pass --store DIR or set "
+            "REPRO_STORE_DIR / REPRO_LEDGER_DIR)",
+            file=sys.stderr,
+        )
+    return sink
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs import flight
+    from repro.obs import ledger as obs_ledger
+    from repro.reporting import (
+        diff_runs,
+        render_run_diff,
+        render_run_record,
+        render_runs_table,
+    )
+
+    sink = _resolve_sink_or_fail(args)
+    if sink is None:
+        return 1
+    if args.action == "list":
+        print(render_runs_table(obs_ledger.list_runs(sink)))
+        return 0
+    if args.action == "show":
+        record = obs_ledger.load_run(sink, args.run)
+        if record is None:
+            print(f"error: run {args.run!r} not found", file=sys.stderr)
+            return 1
+        print(render_run_record(record))
+        return 0
+    if args.action == "diff":
+        record_a = obs_ledger.load_run(sink, args.run)
+        record_b = obs_ledger.load_run(sink, args.run_b)
+        if record_a is None or record_b is None:
+            missing = args.run if record_a is None else args.run_b
+            print(f"error: run {missing!r} not found", file=sys.stderr)
+            return 1
+        print(render_run_diff(diff_runs(record_a, record_b)))
+        return 0
+    # watch: poll the live directory across runs.
+    import time as _time
+
+    live = obs_ledger.live_dir_for(sink)
+    while True:
+        paths = sorted(live.glob("*.jsonl")) if live.is_dir() else []
+        if not paths:
+            print("no live runs")
+        for path in paths:
+            summary = flight.progress_summary(flight.read_heartbeats(path))
+            print(flight.render_progress(path.stem, summary))
+        if args.once:
+            return 0
+        _time.sleep(args.interval)
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs import flight
+    from repro.obs import ledger as obs_ledger
+
+    sink = _resolve_sink_or_fail(args)
+    if sink is None:
+        return 1
+    live = obs_ledger.live_dir_for(sink)
+    path = live / f"{args.run}.jsonl"
+    if not path.exists() and live.is_dir():
+        matches = sorted(live.glob(f"{args.run}*.jsonl"))
+        if len(matches) == 1:
+            path = matches[0]
+        elif len(matches) > 1:
+            print(
+                f"error: run prefix {args.run!r} is ambiguous: "
+                + ", ".join(m.stem for m in matches),
+                file=sys.stderr,
+            )
+            return 1
+    if not path.exists():
+        print(f"error: no live file for run {args.run!r}", file=sys.stderr)
+        return 1
+    while True:
+        summary = flight.progress_summary(flight.read_heartbeats(path))
+        print(flight.render_progress(path.stem, summary))
+        if args.once or summary.get("ended"):
+            return 0
+        _time.sleep(args.interval)
 
 
 #: Default program for ``repro bench``: a 256x256 stencil whose window
@@ -563,6 +695,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_bench_compare)
 
     p = sub.add_parser(
+        "bench-trend",
+        help="trend-check BENCH_<name>.json trajectories; exit 1 when a "
+             "metric drifts monotonically past the threshold",
+    )
+    p.add_argument(
+        "paths", nargs="+",
+        help="artifact files and/or directories (searched recursively)",
+    )
+    p.add_argument(
+        "--window", type=int, default=3,
+        help="number of trailing points a drift must span (default 3)",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="total relative change over the window that fails (default 0.2)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="also list non-drifting metrics"
+    )
+    p.set_defaults(func=_cmd_bench_trend)
+
+    p = sub.add_parser(
+        "runs",
+        help="run ledger: list, inspect, and diff recorded analysis runs",
+    )
+    runs_sub = p.add_subparsers(dest="action", required=True)
+    q = runs_sub.add_parser("list", help="every recorded run, oldest first")
+    q.set_defaults(func=_cmd_runs)
+    q = runs_sub.add_parser("show", help="one run's full ledger record")
+    q.add_argument(
+        "run", nargs="?", default="last",
+        help="run ID, unique prefix, 'last', or 'last~N' (default: last)",
+    )
+    q.set_defaults(func=_cmd_runs)
+    q = runs_sub.add_parser(
+        "diff", help="explain why two runs differ (code, knobs, cache state)"
+    )
+    q.add_argument(
+        "run", nargs="?", default="last~1",
+        help="baseline run (default: last~1)",
+    )
+    q.add_argument(
+        "run_b", nargs="?", default="last",
+        help="run to compare against it (default: last)",
+    )
+    q.set_defaults(func=_cmd_runs)
+    q = runs_sub.add_parser("watch", help="live progress across active runs")
+    q.add_argument("--once", action="store_true", help="render once and exit")
+    q.add_argument(
+        "--interval", type=float, default=2.0,
+        help="poll period in seconds (default 2)",
+    )
+    q.set_defaults(func=_cmd_runs)
+
+    p = sub.add_parser(
+        "tail", help="follow one run's flight-recorder heartbeats"
+    )
+    p.add_argument("run", help="run ID (or unique prefix) to follow")
+    p.add_argument("--once", action="store_true", help="render once and exit")
+    p.add_argument(
+        "--interval", type=float, default=1.0,
+        help="poll period in seconds (default 1)",
+    )
+    p.set_defaults(func=_cmd_tail)
+
+    p = sub.add_parser(
         "bench",
         help="time the streaming engine; --chunk-sweep writes one "
              "BENCH_chunk_<size>.json per chunk size",
@@ -647,20 +845,72 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Read-side subcommands that must not write ledger records of their own
+#: (``repro runs list`` sealing a run per invocation would fill the
+#: ledger with records about reading the ledger).
+_UNLEDGERED = ("runs", "tail", "bench-compare", "bench-trend")
+
+
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs import ledger as obs_ledger
+    from repro.obs import runctx
     from repro.store import open_store
 
     parser = build_parser()
     args = parser.parse_args(argv)
     args.store_obj = open_store(args.store)
+
+    # Run ledger: every analysis command with a durable sink (the store,
+    # or $REPRO_LEDGER_DIR) runs under a run context and seals exactly
+    # one record on the way out.
+    sink = None
+    if args.command not in _UNLEDGERED:
+        sink = obs_ledger.resolve_sink(args.store_obj)
+    ctx = None
+    tee = None
+    own_observer = False
+    if sink is not None:
+        ctx = runctx.begin_run(
+            args.command,
+            argv=list(sys.argv[1:]) if argv is None else list(argv),
+            config={
+                "workers": args.workers,
+                "engine": args.engine,
+                "store": str(args.store_obj.root) if args.store_obj else None,
+                "trace": args.trace,
+            },
+            live_dir=obs_ledger.live_dir_for(sink),
+        )
+        tee = obs_ledger.DigestTee(sys.stdout)
+        sys.stdout = tee
     if args.trace:
         obs.enable(trace=args.trace)
+    elif ctx is not None and obs.get_observer() is None:
+        # The ledger needs counter/span totals even without --trace; the
+        # in-memory observer is cheap and the subcommands reuse it.
+        obs.enable()
+        own_observer = True
+    status = 1
     try:
-        return args.func(args)
+        status = args.func(args)
+        return status
     except (ParseError, FileNotFoundError, KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        if tee is not None:
+            sys.stdout = tee.wrapped
+        if ctx is not None:
+            observer = obs.get_observer()
+            summary = observer.summary() if observer is not None else None
+            obs_ledger.heartbeat_run_end(status)
+            runctx.end_run()
+            obs_ledger.seal_run(
+                ctx, summary, sink, status=status,
+                result_digest=tee.hexdigest(),
+            )
+        if own_observer:
+            obs.disable()
         if args.trace:
             from repro.reporting import render_cache_stats, render_span_summary
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.optimizer import OptimizationResult, optimize_program
 from repro.estimation.memory import ProgramMemoryReport, estimate_program_memory
 from repro.ir.program import Program
@@ -40,18 +41,20 @@ def analyze_program(program: Program, engine: str = "auto") -> AnalysisReport:
     the default resolves to the streaming engine for nests too large to
     enumerate densely.
     """
-    footprint = estimate_program_memory(program)
-    per_array = {
-        array: max_window_size(program, array, engine=engine)
-        for array in program.arrays
-    }
-    return AnalysisReport(
-        program=program.name,
-        default_memory=program.default_memory,
-        footprint=footprint,
-        mws_per_array=per_array,
-        mws_total=max_total_window(program, engine=engine),
-    )
+    obs.runctx.note_input(program.name, program.signature())
+    with obs.span("pipeline.analyze", program=program.name):
+        footprint = estimate_program_memory(program)
+        per_array = {
+            array: max_window_size(program, array, engine=engine)
+            for array in program.arrays
+        }
+        return AnalysisReport(
+            program=program.name,
+            default_memory=program.default_memory,
+            footprint=footprint,
+            mws_per_array=per_array,
+            mws_total=max_total_window(program, engine=engine),
+        )
 
 
 @dataclass(frozen=True)
@@ -76,8 +79,12 @@ class FullReport:
 
 def full_report(program: Program, engine: str = "auto") -> FullReport:
     """Run the whole paper pipeline on one program."""
-    analysis = analyze_program(program, engine=engine)
-    optimization = optimize_program(program, engine=engine)
-    sizing_before = size_memory_for_program(program)
-    sizing_after = size_memory_for_program(program, optimization.transformation)
+    obs.runctx.note_input(program.name, program.signature())
+    with obs.span("pipeline.full_report", program=program.name):
+        analysis = analyze_program(program, engine=engine)
+        optimization = optimize_program(program, engine=engine)
+        sizing_before = size_memory_for_program(program)
+        sizing_after = size_memory_for_program(
+            program, optimization.transformation
+        )
     return FullReport(analysis, optimization, sizing_before, sizing_after)

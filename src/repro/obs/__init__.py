@@ -8,6 +8,7 @@ import obs`` and call ``obs.span``, ``obs.counter``, ``obs.gauge``,
 ``obs.observe``, ``obs.profiled`` — all no-ops until ``obs.enable()``.
 """
 
+from repro.obs import flight, runctx
 from repro.obs.core import (
     Observer,
     SpanStat,
@@ -34,6 +35,8 @@ from repro.obs.export import (
 )
 
 __all__ = [
+    "flight",
+    "runctx",
     "Observer",
     "SpanStat",
     "counter",

@@ -96,6 +96,7 @@ class Observer:
         self,
         trace: str | TextIO | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        run_id: str | None = None,
     ) -> None:
         self._clock = clock
         self._t0 = clock()
@@ -105,6 +106,7 @@ class Observer:
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
+        self.run_id = run_id
         self._trace_path: str | None = None
         self._trace_file: TextIO | None = None
         self._owns_file = False
@@ -115,7 +117,10 @@ class Observer:
         elif trace is not None:
             self._trace_file = trace
         if self._trace_file is not None:
-            self._emit({"ev": "meta", "version": 1})
+            meta: dict[str, Any] = {"ev": "meta", "version": 1}
+            if run_id is not None:
+                meta["run"] = run_id
+            self._emit(meta)
 
     # ------------------------------------------------------------------
     # span lifecycle (called by the module-level helpers)
@@ -193,6 +198,8 @@ class Observer:
             },
             "counters": dict(sorted(self.counters.items())),
         }
+        if self.run_id is not None:
+            out["run"] = self.run_id
         if self.gauges:
             out["gauges"] = dict(sorted(self.gauges.items()))
         if self.histograms:
@@ -250,12 +257,22 @@ def _flush_at_exit() -> None:
 def enable(
     trace: str | TextIO | None = None,
     clock: Callable[[], float] = time.perf_counter,
+    run_id: str | None = None,
 ) -> Observer:
-    """Turn instrumentation on (replacing any active observer)."""
+    """Turn instrumentation on (replacing any active observer).
+
+    ``run_id`` stamps the trace meta event and the summary with the run
+    identity (see :mod:`repro.obs.runctx`); when omitted, the active
+    run context's ID is used if one exists.
+    """
     global _atexit_registered
     if _observer is not None:
         _observer.flush()
-    _set_observer(Observer(trace, clock))
+    if run_id is None:
+        from repro.obs import runctx
+
+        run_id = runctx.current_run_id()
+    _set_observer(Observer(trace, clock, run_id=run_id))
     if not _atexit_registered:
         atexit.register(_flush_at_exit)
         _atexit_registered = True
@@ -285,14 +302,22 @@ def _reset_in_child() -> None:
     _set_observer(None)
 
 
-def _init_worker(collect: bool) -> None:
+def _init_worker(collect: bool, run_state: dict | None = None) -> None:
     """``ProcessPoolExecutor`` initializer: never inherit the parent's
     observer (and its open trace file), but when the parent is observing
     start a fresh in-memory observer so worker-side counters can be
-    shipped back and merged (see ``transform.search._eval_task``)."""
+    shipped back and merged (see ``transform.search._eval_task``).
+
+    ``run_state`` (from :func:`repro.obs.runctx.worker_state`) restores
+    the parent's run identity in the child, so worker observers and
+    flight-recorder heartbeats are stamped with the same run ID.
+    """
+    from repro.obs import runctx
+
     _reset_in_child()
+    runctx.restore_worker(run_state)
     if collect:
-        _set_observer(Observer())
+        _set_observer(Observer(run_id=runctx.current_run_id()))
 
 
 class _NullSpan:

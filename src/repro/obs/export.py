@@ -28,7 +28,7 @@ import re
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
-from repro.obs.core import Observer
+from repro.obs.core import Observer, _json_default
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -39,6 +39,16 @@ def _sanitize(name: str) -> str:
 
 
 def _format_value(value: float) -> str:
+    # Numpy scalars (np.int64 counter values, np.float64 gauge readings)
+    # sneak into summaries via metric labels; unwrap before formatting so
+    # the exposition shows "3", not "np.int64(3)".  Exact type check:
+    # np.float64 *subclasses* float, and its repr is "np.float64(2.5)".
+    item = getattr(value, "item", None)
+    if callable(item) and type(value) not in (int, float, str):
+        try:
+            value = item()
+        except (TypeError, ValueError):
+            pass
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(value) if isinstance(value, float) else str(value)
@@ -117,20 +127,29 @@ def chrome_trace(
     events become phase-``X`` (complete) events; counter totals become a
     single phase-``C`` sample at the end of the timeline, so the counter
     track shows the run's final values.
+
+    Tolerant of hostile timing data: a negative span duration (a clock
+    that stepped backwards mid-span) is clamped to 0, and when events
+    from several processes share one file (pool workers each measure
+    from their own observer epoch) the whole timeline is shifted so the
+    earliest ``ts`` is 0 — Chrome renders negative timestamps as an
+    empty flame graph.
     """
     if isinstance(events, (str, Path)):
         events = load_trace(events)
     events = list(events)
     trace_events: list[dict[str, Any]] = []
     end_ts = 0
+    min_ts = 0
     for event in events:
         if event.get("ev") != "span":
             continue
         # Traces from before ts_us existed fall back to the sequence
         # number, preserving event order if not true timing.
         ts = event.get("ts_us", event.get("seq", 0))
-        dur = event.get("dur_us", 0)
+        dur = max(0, event.get("dur_us", 0))
         end_ts = max(end_ts, ts + dur)
+        min_ts = min(min_ts, ts)
         entry: dict[str, Any] = {
             "name": event.get("name", "?"),
             "cat": "span",
@@ -145,6 +164,10 @@ def chrome_trace(
         if attrs:
             entry["args"].update(attrs)
         trace_events.append(entry)
+    if min_ts < 0:
+        for entry in trace_events:
+            entry["ts"] -= min_ts
+        end_ts -= min_ts
     for event in events:
         if event.get("ev") == "counter":
             trace_events.append(
@@ -164,5 +187,8 @@ def chrome_trace(
 def write_chrome_trace(jsonl_path: str | Path, out_path: str | Path) -> Path:
     """Convert a JSONL trace file into a ``chrome://tracing`` JSON file."""
     out = Path(out_path)
-    out.write_text(json.dumps(chrome_trace(jsonl_path)), encoding="utf-8")
+    out.write_text(
+        json.dumps(chrome_trace(jsonl_path), default=_json_default),
+        encoding="utf-8",
+    )
     return out

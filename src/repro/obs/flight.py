@@ -1,0 +1,249 @@
+"""Flight recorder: live heartbeat events from long-running runs.
+
+The ledger (:mod:`repro.obs.ledger`) answers questions *after* a run;
+the flight recorder answers "what is it doing *right now*".  Any process
+holding a run context (:mod:`repro.obs.runctx`) — the CLI parent or a
+pool worker restored via ``worker_state()`` — appends JSONL heartbeat
+events to the run's live file::
+
+    <live_dir>/<run_id>.jsonl
+    {"ts": 1754500000.1, "pid": 4242, "run": "...", "ev": "item_start",
+     "item": "#3 optimize sor", "sig": "..." }
+
+Events are append-only with ``O_APPEND`` semantics, so concurrent
+workers interleave whole lines; readers tolerate a torn final line.
+``repro tail <run>`` follows the file and renders per-worker progress
+(current item, counter rate, ETA); ``repro runs watch`` polls the live
+directory across runs.
+
+Inside pool workers, :class:`HeartbeatThread` snapshots the worker's
+observer counters every ``REPRO_HEARTBEAT_S`` seconds (default 1.0)
+while an item runs.  Those periodic ``progress`` events are also the
+*partial-telemetry flush* the batch runner recovers when it times an
+item out: the counters a killed-by-timeout worker accrued are merged
+from its last heartbeat instead of being dropped silently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs import runctx
+from repro.obs.core import _json_default
+
+#: Environment variable overriding the worker heartbeat period (seconds).
+HEARTBEAT_ENV = "REPRO_HEARTBEAT_S"
+
+DEFAULT_HEARTBEAT_S = 1.0
+
+
+def heartbeat_interval() -> float:
+    """Worker heartbeat period: ``$REPRO_HEARTBEAT_S`` or 1.0 seconds."""
+    raw = os.environ.get(HEARTBEAT_ENV)
+    if raw is None:
+        return DEFAULT_HEARTBEAT_S
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{HEARTBEAT_ENV} must be a number of seconds, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"{HEARTBEAT_ENV} must be > 0, got {value}")
+    return value
+
+
+def live_path() -> Path | None:
+    """The active run's heartbeat file, or ``None`` when not recording."""
+    ctx = runctx.current()
+    return None if ctx is None else ctx.live_path
+
+
+def heartbeat(event: str, **fields: Any) -> None:
+    """Append one heartbeat event to the active run's live file.
+
+    A no-op without a run context or live directory; never raises on a
+    write failure (a dead disk must not kill the analysis).
+    """
+    path = live_path()
+    if path is None:
+        return
+    record = {
+        "ts": round(time.time(), 3),
+        "pid": os.getpid(),
+        "run": runctx.current_run_id(),
+        "ev": event,
+        **fields,
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, default=_json_default) + "\n")
+    except OSError:
+        pass
+
+
+def read_heartbeats(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a live file's events, tolerating a torn final line."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return []
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue  # torn tail of an in-flight append
+        if isinstance(event, dict):
+            events.append(event)
+    return events
+
+
+class HeartbeatThread:
+    """Daemon thread emitting periodic ``progress`` heartbeats.
+
+    Used by pool workers around one work item: each tick snapshots the
+    worker observer's counters (the partial delta of the running item,
+    since counters are drained per task) so the parent can recover them
+    if it abandons the item on timeout.
+    """
+
+    def __init__(
+        self,
+        item: str,
+        sig: str | None = None,
+        interval: float | None = None,
+    ) -> None:
+        self.item = item
+        self.sig = sig
+        self.interval = heartbeat_interval() if interval is None else interval
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started = time.perf_counter()
+
+    def _snapshot(self) -> dict[str, int]:
+        from repro import obs
+
+        observer = obs.get_observer()
+        return dict(observer.counters) if observer is not None else {}
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            counters = self._snapshot()
+            elapsed = time.perf_counter() - self._started
+            heartbeat(
+                "progress",
+                item=self.item,
+                sig=self.sig,
+                elapsed_s=round(elapsed, 3),
+                counters=counters,
+                rate=_rate(counters, elapsed),
+            )
+
+    def __enter__(self) -> "HeartbeatThread":
+        if live_path() is not None:
+            self._thread = threading.Thread(target=self._run, daemon=True)
+            self._thread.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval + 1.0)
+            self._thread = None
+
+
+#: Counters whose per-second rate is the most useful liveness signal.
+RATE_COUNTERS = (
+    "search.cache.misses",
+    "search.candidates.examined",
+    "streaming.chunks",
+)
+
+
+def _rate(counters: Mapping[str, int], elapsed: float) -> float | None:
+    """Candidates/sec estimate from the busiest known work counter."""
+    if elapsed <= 0:
+        return None
+    work = max((counters.get(name, 0) for name in RATE_COUNTERS), default=0)
+    if work <= 0:
+        return None
+    return round(work / elapsed, 2)
+
+
+# ----------------------------------------------------------------------
+# read side: progress summaries for `repro tail` / `repro runs watch`
+# ----------------------------------------------------------------------
+
+def progress_summary(events: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Fold a live stream into per-pid current state plus batch totals.
+
+    Returns ``{"pids": {pid: {...latest event facts...}}, "batch":
+    {...latest batch_progress...}, "ended": bool}``.
+    """
+    pids: dict[int, dict[str, Any]] = {}
+    batch: dict[str, Any] = {}
+    ended = False
+    for event in events:
+        kind = event.get("ev")
+        pid = int(event.get("pid", 0))
+        if kind in ("item_start", "progress"):
+            pids[pid] = {
+                "item": event.get("item"),
+                "sig": event.get("sig"),
+                "elapsed_s": event.get("elapsed_s", 0.0),
+                "rate": event.get("rate"),
+                "ts": event.get("ts"),
+            }
+        elif kind in ("item_done", "item_timeout", "item_error"):
+            state = pids.setdefault(pid, {})
+            state["item"] = None
+            state["last"] = f"{kind}: {event.get('item')}"
+            state["ts"] = event.get("ts")
+        elif kind == "batch_progress":
+            batch = {
+                "done": event.get("done"),
+                "total": event.get("total"),
+                "eta_s": event.get("eta_s"),
+                "ts": event.get("ts"),
+            }
+        elif kind == "run_end":
+            ended = True
+    return {"pids": pids, "batch": batch, "ended": ended}
+
+
+def render_progress(run_id: str, summary: Mapping[str, Any]) -> str:
+    """One-screen live view of a run's heartbeat state."""
+    lines = [f"run {run_id}"]
+    batch = summary.get("batch") or {}
+    if batch.get("total") is not None:
+        done, total = batch.get("done", 0), batch["total"]
+        eta = batch.get("eta_s")
+        eta_txt = "?" if eta is None else f"{eta:.0f}s"
+        lines.append(f"  batch: {done}/{total} items done, ETA {eta_txt}")
+    pids = summary.get("pids") or {}
+    for pid in sorted(pids):
+        state = pids[pid]
+        if state.get("item"):
+            rate = state.get("rate")
+            rate_txt = "" if rate is None else f"  {rate:g}/s"
+            lines.append(
+                f"  pid {pid}: {state['item']}  "
+                f"({state.get('elapsed_s', 0):.1f}s elapsed{rate_txt})"
+            )
+        elif state.get("last"):
+            lines.append(f"  pid {pid}: idle ({state['last']})")
+    if len(lines) == 1:
+        lines.append("  (no heartbeats yet)")
+    if summary.get("ended"):
+        lines.append("  run ended")
+    return "\n".join(lines)

@@ -27,11 +27,22 @@ from repro.reporting.spans import (
 from repro.reporting.telemetry import (
     Comparison,
     MetricDelta,
+    MetricTrend,
+    TrendReport,
     build_artifact,
     compare_artifacts,
+    compare_trajectory,
     metric_direction,
     render_comparison,
+    render_trend,
     write_artifact,
+)
+from repro.reporting.ledger import (
+    RunDiff,
+    diff_runs,
+    render_run_diff,
+    render_run_record,
+    render_runs_table,
 )
 
 __all__ = [
@@ -54,9 +65,18 @@ __all__ = [
     "render_reconciliation",
     "Comparison",
     "MetricDelta",
+    "MetricTrend",
+    "TrendReport",
     "build_artifact",
     "compare_artifacts",
+    "compare_trajectory",
     "metric_direction",
     "render_comparison",
+    "render_trend",
     "write_artifact",
+    "RunDiff",
+    "diff_runs",
+    "render_run_diff",
+    "render_run_record",
+    "render_runs_table",
 ]

@@ -1,0 +1,277 @@
+"""Rendering and diffing of run-ledger records (``repro runs ...``).
+
+The write side lives in :mod:`repro.obs.ledger`; this module is the
+read-side presentation: the ``runs list`` table, the ``runs show``
+record view, and — the part that answers "why is today's run slower" —
+:func:`diff_runs`, a structured comparison of two records that
+attributes the wall-clock delta to what actually changed between them:
+
+* **code** — different git SHA;
+* **knobs** — env (``REPRO_*``) or effective-config drift;
+* **engines** — a different window engine did the work;
+* **cache state** — same code, same knobs, but a different store/cache
+  hit rate (the cold-vs-warm signature).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.obs.ledger import overall_hit_rate
+
+
+def _age(started_unix: float, now: float | None = None) -> str:
+    delta = (time.time() if now is None else now) - float(started_unix)
+    if delta < 0:
+        return "future"
+    if delta < 120:
+        return f"{delta:.0f}s ago"
+    if delta < 7200:
+        return f"{delta / 60:.0f}m ago"
+    if delta < 172800:
+        return f"{delta / 3600:.0f}h ago"
+    return f"{delta / 86400:.0f}d ago"
+
+
+def render_runs_table(records: list[Mapping[str, Any]]) -> str:
+    """One line per run, oldest first (matching ``list_runs`` order)."""
+    if not records:
+        return "no runs recorded"
+    header = (
+        f"{'run':<22} {'command':<10} {'status':<7} {'wall':>8} "
+        f"{'hit rate':>9} {'git':<8} age"
+    )
+    lines = [header, "-" * len(header)]
+    for record in records:
+        wall = record.get("wall_s", 0.0)
+        lines.append(
+            f"{str(record.get('run', '?')):<22} "
+            f"{str(record.get('command', '?')):<10} "
+            f"{('ok' if record.get('status', 0) == 0 else 'fail'):<7} "
+            f"{wall:>7.2f}s "
+            f"{100 * overall_hit_rate(record):>8.1f}% "
+            f"{str(record.get('git') or '-'):<8} "
+            f"{_age(record.get('started_unix', 0.0))}"
+        )
+    return "\n".join(lines)
+
+
+def render_run_record(record: Mapping[str, Any]) -> str:
+    """Full single-record view for ``repro runs show``."""
+    lines = [
+        f"run        : {record.get('run', '?')}",
+        f"command    : {record.get('command', '?')} "
+        + " ".join(str(a) for a in record.get("argv", [])),
+        f"status     : {record.get('status', '?')}",
+        f"started    : {record.get('started_unix', '?')}",
+        f"wall / cpu : {record.get('wall_s', 0.0):.3f}s / "
+        f"{record.get('cpu_s', 0.0):.3f}s",
+        f"git        : {record.get('git') or '-'}",
+    ]
+    config = record.get("config", {})
+    if config:
+        lines.append(
+            "config     : "
+            + " ".join(f"{k}={v}" for k, v in sorted(config.items()))
+        )
+    env = record.get("env", {})
+    if env:
+        lines.append(
+            "env        : "
+            + " ".join(f"{k}={v}" for k, v in sorted(env.items()))
+        )
+    inputs = record.get("inputs", {})
+    if inputs:
+        lines.append("inputs     :")
+        for name, sig in sorted(inputs.items()):
+            lines.append(f"  {name}: {sig}")
+    engines = record.get("engines", {})
+    if engines:
+        lines.append(
+            "engines    : "
+            + " ".join(f"{k}x{v}" for k, v in sorted(engines.items()))
+        )
+    lines.append(f"hit rate   : {100 * overall_hit_rate(record):.1f}%")
+    caches = record.get("caches", [])
+    for row in caches:
+        lines.append(
+            f"  {row['name']:<24} {row['hits']:>6} hits "
+            f"{row['misses']:>6} misses  {100 * row['hit_rate']:>5.1f}%"
+        )
+    for section in ("cascade", "parametric", "batch"):
+        values = record.get(section)
+        if values:
+            lines.append(
+                f"{section:<11}: "
+                + " ".join(f"{k}={v}" for k, v in sorted(values.items()))
+            )
+    extras = record.get("extras", {})
+    for key, entries in sorted(extras.items()):
+        lines.append(f"{key:<11}: {entries}")
+    digest = record.get("result_digest")
+    if digest:
+        lines.append(f"result     : sha256:{digest}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# diff
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunDiff:
+    """Structured explanation of why two runs differ."""
+
+    run_a: str
+    run_b: str
+    wall_a: float
+    wall_b: float
+    code_delta: tuple[str, str] | None  # (git_a, git_b) when different
+    knob_delta: dict[str, tuple[Any, Any]] = field(default_factory=dict)
+    engine_delta: dict[str, tuple[int, int]] = field(default_factory=dict)
+    engines_a: dict[str, int] = field(default_factory=dict)
+    engines_b: dict[str, int] = field(default_factory=dict)
+    hit_rate_a: float = 0.0
+    hit_rate_b: float = 0.0
+    input_delta: dict[str, tuple[Any, Any]] = field(default_factory=dict)
+    digest_match: bool | None = None
+
+    @property
+    def wall_delta(self) -> float:
+        return self.wall_b - self.wall_a
+
+    @property
+    def hit_rate_delta(self) -> float:
+        return self.hit_rate_b - self.hit_rate_a
+
+    @property
+    def engine_switch(self) -> bool:
+        """Did a *different engine* do the work (vs just less work)?
+
+        A warm run served from the store makes zero engine calls — that
+        is a cache-state difference, not an engine choice.  Only when
+        both runs did engine work with different engine sets is the
+        engine the cause.
+        """
+        used_a = {k for k, v in self.engines_a.items() if v}
+        used_b = {k for k, v in self.engines_b.items() if v}
+        return bool(used_a and used_b and used_a != used_b)
+
+    @property
+    def attribution(self) -> str:
+        """One-sentence explanation of the dominant difference."""
+        causes = []
+        if self.code_delta is not None:
+            causes.append(
+                f"code version changed ({self.code_delta[0]} -> "
+                f"{self.code_delta[1]})"
+            )
+        if self.knob_delta:
+            causes.append(
+                "knob drift (" + ", ".join(sorted(self.knob_delta)) + ")"
+            )
+        if self.input_delta:
+            causes.append(
+                "inputs changed (" + ", ".join(sorted(self.input_delta)) + ")"
+            )
+        if self.engine_switch:
+            causes.append(
+                "engine choice changed ("
+                + ", ".join(sorted(self.engine_delta)) + ")"
+            )
+        if causes:
+            return "; ".join(causes)
+        if abs(self.hit_rate_delta) > 1e-9:
+            direction = "speedup" if self.wall_delta < 0 else "slowdown"
+            return (
+                f"{direction} attributed to store/cache hits "
+                f"(hit rate {100 * self.hit_rate_a:.1f}% -> "
+                f"{100 * self.hit_rate_b:.1f}%, same code and knobs)"
+            )
+        return "no attributable difference (same code, knobs, cache state)"
+
+
+def _diff_maps(a: Mapping[str, Any], b: Mapping[str, Any]) -> dict:
+    out = {}
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if va != vb:
+            out[key] = (va, vb)
+    return out
+
+
+def diff_runs(a: Mapping[str, Any], b: Mapping[str, Any]) -> RunDiff:
+    """Structured diff of two ledger records (``a`` = older baseline)."""
+    git_a, git_b = a.get("git"), b.get("git")
+    knob_delta = _diff_maps(a.get("env", {}), b.get("env", {}))
+    knob_delta.update({
+        f"config.{key}": value
+        for key, value in _diff_maps(
+            a.get("config", {}), b.get("config", {})
+        ).items()
+    })
+    digest_a, digest_b = a.get("result_digest"), b.get("result_digest")
+    return RunDiff(
+        run_a=str(a.get("run", "?")),
+        run_b=str(b.get("run", "?")),
+        wall_a=float(a.get("wall_s", 0.0)),
+        wall_b=float(b.get("wall_s", 0.0)),
+        code_delta=None if git_a == git_b else (str(git_a), str(git_b)),
+        knob_delta=knob_delta,
+        engine_delta=_diff_maps(a.get("engines", {}), b.get("engines", {})),
+        engines_a=dict(a.get("engines", {})),
+        engines_b=dict(b.get("engines", {})),
+        hit_rate_a=overall_hit_rate(a),
+        hit_rate_b=overall_hit_rate(b),
+        input_delta=_diff_maps(a.get("inputs", {}), b.get("inputs", {})),
+        digest_match=(
+            None if digest_a is None or digest_b is None
+            else digest_a == digest_b
+        ),
+    )
+
+
+def render_run_diff(diff: RunDiff) -> str:
+    """Human-readable ``repro runs diff A B`` output."""
+    rel = (
+        f" ({diff.wall_delta / diff.wall_a:+.1%})" if diff.wall_a else ""
+    )
+    lines = [
+        f"runs {diff.run_a} -> {diff.run_b}",
+        f"wall       : {diff.wall_a:.3f}s -> {diff.wall_b:.3f}s"
+        f"  {diff.wall_delta:+.3f}s{rel}",
+        f"hit rate   : {100 * diff.hit_rate_a:.1f}% -> "
+        f"{100 * diff.hit_rate_b:.1f}%  "
+        f"({100 * diff.hit_rate_delta:+.1f}pp)",
+        f"code       : "
+        + ("unchanged" if diff.code_delta is None
+           else f"{diff.code_delta[0]} -> {diff.code_delta[1]}"),
+    ]
+    if diff.knob_delta:
+        lines.append("knobs      :")
+        for key, (va, vb) in sorted(diff.knob_delta.items()):
+            lines.append(f"  {key}: {va!r} -> {vb!r}")
+    else:
+        lines.append("knobs      : unchanged")
+    if diff.engine_delta:
+        lines.append("engines    :")
+        for key, (va, vb) in sorted(diff.engine_delta.items()):
+            lines.append(f"  {key}: {va or 0} -> {vb or 0} calls")
+    else:
+        lines.append("engines    : unchanged")
+    if diff.input_delta:
+        lines.append("inputs     :")
+        for key, (va, vb) in sorted(diff.input_delta.items()):
+            lines.append(f"  {key}: {va} -> {vb}")
+    else:
+        lines.append("inputs     : unchanged")
+    if diff.digest_match is not None:
+        lines.append(
+            "result     : "
+            + ("identical output digest" if diff.digest_match
+               else "OUTPUT DIGEST DIFFERS")
+        )
+    lines.append(f"verdict    : {diff.attribution}")
+    return "\n".join(lines)

@@ -20,7 +20,7 @@ import subprocess
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 SCHEMA_VERSION = 1
 
@@ -177,6 +177,151 @@ def compare_artifacts(
         added=tuple(sorted(new_metrics.keys() - old_metrics.keys())),
         threshold=threshold,
     )
+
+
+# ----------------------------------------------------------------------
+# multi-point trend (the whole checked-in BENCH_*.json trajectory)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MetricTrend:
+    """One metric's last-``window`` trajectory and its verdict.
+
+    A *trend regression* is stricter than a pairwise one: the metric
+    must move monotonically in the bad direction across every point of
+    the window **and** the total move must exceed the threshold.  A
+    single noisy point therefore never fails the build — only a
+    sustained drift does.
+    """
+
+    key: str
+    values: tuple[float, ...]
+    direction: int  # +1 higher-is-better, -1 lower-is-better
+    regressed: bool
+
+    @property
+    def rel_change(self) -> float:
+        """Total relative change first -> last; positive = grew."""
+        first, last = self.values[0], self.values[-1]
+        if first == 0:
+            return 0.0 if last == 0 else float("inf")
+        return (last - first) / abs(first)
+
+
+@dataclass(frozen=True)
+class TrendReport:
+    """Trend verdicts over a trajectory of artifacts for one bench."""
+
+    bench: str
+    window: int
+    threshold: float
+    points: int  # artifacts actually considered (may be < window)
+    trends: tuple[MetricTrend, ...]
+
+    @property
+    def regressions(self) -> tuple[MetricTrend, ...]:
+        return tuple(t for t in self.trends if t.regressed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _trajectory_metrics(artifact: Mapping[str, Any]) -> dict[str, float]:
+    """Numeric metrics plus the synthetic ``total_wall_s``.
+
+    Wall times live in the artifact's ``wall_s`` section, not
+    ``metrics``; the trend checker folds their sum in as one
+    lower-is-better series so a wall-clock drift is watchable without
+    every bench naming its phases identically.
+    """
+    out = _numeric_metrics(artifact)
+    walls = artifact.get("wall_s", {})
+    if isinstance(walls, Mapping) and walls:
+        total = 0.0
+        for value in walls.values():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                total += float(value)
+        out["total_wall_s"] = total
+    return out
+
+
+def _monotone_bad(values: tuple[float, ...], direction: int) -> bool:
+    """Every step non-improving in the bad direction."""
+    if direction > 0:  # higher-is-better: bad = non-increasing
+        return all(b <= a for a, b in zip(values, values[1:]))
+    return all(b >= a for a, b in zip(values, values[1:]))
+
+
+def compare_trajectory(
+    artifacts: Sequence[Mapping[str, Any]],
+    window: int = 3,
+    threshold: float = 0.2,
+) -> TrendReport:
+    """Trend-check the last ``window`` points of a bench trajectory.
+
+    ``artifacts`` are ordered by their ``created_unix`` stamp (ties keep
+    input order, so append-order histories behave).  A metric regresses
+    when its last ``window`` values move monotonically in the bad
+    direction and the total move is at least ``threshold`` relative to
+    the window's first value.  Fewer than ``window`` points can never
+    regress — one baseline pair is ``bench-compare``'s job.
+    """
+    ordered = sorted(
+        range(len(artifacts)),
+        key=lambda i: (artifacts[i].get("created_unix", 0.0), i),
+    )
+    tail = [artifacts[i] for i in ordered[-window:]]
+    bench = str(tail[-1].get("bench", "?")) if tail else "?"
+    if len(tail) < window:
+        return TrendReport(bench, window, threshold, len(tail), ())
+    series = [_trajectory_metrics(a) for a in tail]
+    shared = set(series[0])
+    for metrics in series[1:]:
+        shared &= set(metrics)
+    trends = []
+    for key in sorted(shared):
+        values = tuple(metrics[key] for metrics in series)
+        direction = metric_direction(key)
+        first = values[0]
+        if first == 0:
+            total_bad = False
+        else:
+            rel = (values[-1] - first) / abs(first)
+            total_bad = (-direction * rel) >= threshold
+        regressed = total_bad and _monotone_bad(values, direction)
+        trends.append(MetricTrend(key, values, direction, regressed))
+    return TrendReport(bench, window, threshold, len(tail), tuple(trends))
+
+
+def render_trend(report: TrendReport, verbose: bool = False) -> str:
+    """Human-readable trend table; regressions always shown."""
+    lines = [
+        f"bench {report.bench}: trend over last {report.points} point(s) "
+        f"(window {report.window}, threshold {report.threshold:.0%})"
+    ]
+    if report.points < report.window:
+        lines.append(
+            f"not enough history ({report.points} < {report.window}): skipped"
+        )
+        return "\n".join(lines)
+    shown = [t for t in report.trends if t.regressed or verbose]
+    if shown:
+        header = f"{'metric':<40} {'trajectory':<28} {'change':>9}  verdict"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for t in shown:
+            traj = " -> ".join(f"{v:g}" for v in t.values)
+            change = (
+                "n/a" if t.rel_change == float("inf")
+                else f"{t.rel_change:+.1%}"
+            )
+            verdict = "TREND REGRESSION" if t.regressed else "ok"
+            lines.append(f"{t.key:<40} {traj:<28} {change:>9}  {verdict}")
+    else:
+        lines.append("no sustained drifts")
+    lines.append(f"result: {'OK' if report.ok else 'TREND REGRESSIONS DETECTED'}")
+    return "\n".join(lines)
 
 
 def render_comparison(comparison: Comparison, verbose: bool = False) -> str:

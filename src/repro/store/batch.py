@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 from repro import obs
+from repro.obs import flight, runctx
 from repro.obs import metrics as obs_metrics
 from repro.ir.program import Program
 
@@ -175,15 +176,53 @@ def _batch_task(payload) -> tuple[dict[str, Any], dict[str, int]]:
     Like ``transform.search._eval_task``: returns the result together
     with the worker-side counter delta, drained per task so serial and
     parallel counter totals match.
+
+    While the item runs, a :class:`repro.obs.flight.HeartbeatThread`
+    periodically snapshots the worker's counters to the run's live file.
+    Those snapshots double as the *partial-telemetry flush*: if the
+    parent abandons this item on timeout, it recovers the last snapshot
+    instead of silently dropping the worker's counters.
     """
-    evaluator, kind, program, array, engine, store = payload
-    result = evaluator(kind, program, array, engine, store)
+    evaluator, label, sig, kind, program, array, engine, store = payload
+    flight.heartbeat("item_start", item=label, sig=sig)
+    started = time.perf_counter()
+    with flight.HeartbeatThread(label, sig=sig):
+        result = evaluator(kind, program, array, engine, store)
     worker_obs = obs.get_observer()
-    if worker_obs is None:
-        return result, {}
-    delta = dict(worker_obs.counters)
-    worker_obs.counters.clear()
+    delta: dict[str, int] = {}
+    if worker_obs is not None:
+        delta = dict(worker_obs.counters)
+        worker_obs.counters.clear()
+    flight.heartbeat(
+        "item_done", item=label, sig=sig,
+        elapsed_s=round(time.perf_counter() - started, 3),
+        counters=delta,
+    )
     return result, delta
+
+
+def _recover_timeout_delta(item_label: str) -> dict[str, int]:
+    """Last heartbeat counter snapshot for a timed-out item, if any.
+
+    The timed-out worker's per-item counter delta never comes back over
+    the future, but its :class:`~repro.obs.flight.HeartbeatThread` was
+    flushing snapshots to the live file — return the freshest one so the
+    telemetry survives the cancel.
+    """
+    path = flight.live_path()
+    if path is None:
+        return {}
+    recovered: dict[str, int] = {}
+    for event in flight.read_heartbeats(path):
+        if event.get("ev") == "progress" and event.get("item") == item_label:
+            counters = event.get("counters")
+            if isinstance(counters, dict):
+                recovered = {
+                    str(name): int(value)
+                    for name, value in counters.items()
+                    if isinstance(value, (int, float))
+                }
+    return recovered
 
 
 def _observe_latency(wall_s: float, delta: Mapping[str, int]) -> None:
@@ -250,33 +289,63 @@ def run_batch(
 
     results: dict[int, BatchOutcome] = {}
     parallel = workers > 1 and len(unique) > 1
+    batch_t0 = time.perf_counter()
+    done = 0
+
+    def _progress() -> None:
+        nonlocal done
+        done += 1
+        elapsed = time.perf_counter() - batch_t0
+        remaining = len(unique) - done
+        eta = round(elapsed / done * remaining, 1) if done else None
+        flight.heartbeat("batch_progress", done=done, total=len(unique),
+                         eta_s=eta)
+
     with obs.span("batch", items=len(items), unique=len(unique),
                   workers=workers if parallel else 0):
         if parallel:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=obs.core._init_worker,
-                initargs=(obs.enabled(),),
+                initargs=(obs.enabled(), runctx.worker_state()),
             ) as pool:
                 futures = []
                 for item in unique:
+                    sig = (item.program.signature()
+                           if item.program is not None else None)
                     payload = (
-                        evaluator, item.kind, item.program, item.array,
-                        engine, store,
+                        evaluator, item.label, sig, item.kind, item.program,
+                        item.array, engine, store,
                     )
-                    futures.append((item, time.perf_counter(),
+                    futures.append((item, sig, time.perf_counter(),
                                     pool.submit(_batch_task, payload)))
-                for item, started, future in futures:
+                for item, sig, started, future in futures:
                     try:
                         result, delta = future.result(timeout=timeout)
                     except _FutureTimeout:
                         future.cancel()
-                        obs.counter("batch.items.timeout")
+                        # The worker's per-item counter delta would be
+                        # dropped with the future: recover its last
+                        # heartbeat snapshot so the telemetry survives.
+                        recovered = _recover_timeout_delta(item.label)
+                        for name, amount in recovered.items():
+                            obs.counter(name, amount)
+                        obs.counter("batch.item.timeout")
+                        obs.counter("batch.items.timeout")  # legacy name
+                        runctx.annotate("timeouts", {
+                            "item": item.label,
+                            "sig": sig,
+                            "timeout_s": timeout,
+                            "recovered_counters": recovered,
+                        })
+                        flight.heartbeat("item_timeout", item=item.label,
+                                         sig=sig)
                         results[item.index] = BatchOutcome(
                             item, "timeout",
                             error=f"timed out after {timeout:g}s",
                             wall_s=time.perf_counter() - started,
                         )
+                        _progress()
                         continue
                     except Exception as exc:  # degrade, don't abort
                         obs.counter("batch.items.error")
@@ -284,6 +353,7 @@ def run_batch(
                             item, "error", error=f"{type(exc).__name__}: {exc}",
                             wall_s=time.perf_counter() - started,
                         )
+                        _progress()
                         continue
                     wall = time.perf_counter() - started
                     for name, amount in delta.items():
@@ -293,22 +363,28 @@ def run_batch(
                     results[item.index] = BatchOutcome(
                         item, "ok", result=result, wall_s=wall
                     )
+                    _progress()
                 pool.shutdown(wait=False, cancel_futures=True)
         else:
             observer = obs.get_observer()
             for item in unique:
+                sig = (item.program.signature()
+                       if item.program is not None else None)
                 before = dict(observer.counters) if observer else {}
                 started = time.perf_counter()
+                flight.heartbeat("item_start", item=item.label, sig=sig)
                 try:
                     result = evaluator(
                         item.kind, item.program, item.array, engine, store
                     )
                 except Exception as exc:  # degrade, don't abort
                     obs.counter("batch.items.error")
+                    flight.heartbeat("item_error", item=item.label, sig=sig)
                     results[item.index] = BatchOutcome(
                         item, "error", error=f"{type(exc).__name__}: {exc}",
                         wall_s=time.perf_counter() - started,
                     )
+                    _progress()
                     continue
                 wall = time.perf_counter() - started
                 delta = {}
@@ -319,9 +395,12 @@ def run_batch(
                     }
                 obs.counter("batch.items.ok")
                 _observe_latency(wall, delta)
+                flight.heartbeat("item_done", item=item.label, sig=sig,
+                                 elapsed_s=round(wall, 3))
                 results[item.index] = BatchOutcome(
                     item, "ok", result=result, wall_s=wall
                 )
+                _progress()
 
     outcomes: list[BatchOutcome] = []
     for item in items:

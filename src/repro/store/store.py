@@ -117,7 +117,14 @@ class ResultStore:
         return value
 
     def put(self, kind: str, key: Any, value: Any) -> Path:
-        """Atomically persist ``value`` under ``(kind, key)``."""
+        """Atomically persist ``value`` under ``(kind, key)``.
+
+        When a run context is active (:mod:`repro.obs.runctx`) the
+        record is stamped with the writing run's ID, so a store can be
+        audited record-by-record against the run ledger.  The stamp is
+        provenance only — reads ignore it, and it does not participate
+        in the content address.
+        """
         path = self.record_path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         record = {
@@ -126,6 +133,9 @@ class ResultStore:
             "key": key,
             "value": value,
         }
+        run_id = obs.runctx.current_run_id()
+        if run_id is not None:
+            record["run"] = run_id
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         tmp.write_text(
             json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n",
@@ -148,6 +158,33 @@ class ResultStore:
         if not self.base.exists():
             return 0
         return sum(1 for _ in self.base.glob("*/*.json"))
+
+    def iter_records(self, kind: str):
+        """Yield every stored value of one kind (walks the store).
+
+        Uses the same validation as :meth:`get` minus the key check (the
+        caller does not know the keys); corrupt files are skipped and
+        counted under ``store.corrupt``.  Diagnostics/read-side only —
+        the hot path never enumerates.
+        """
+        directory = self.base / kind
+        if not directory.is_dir():
+            return
+        for path in sorted(directory.glob("*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                obs.counter("store.corrupt")
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("schema") != SCHEMA_VERSION
+                or record.get("kind") != kind
+                or "value" not in record
+            ):
+                obs.counter("store.corrupt")
+                continue
+            yield record["value"]
 
     def __reduce__(self):
         # Pickle as (root, capacity): worker processes re-open the same

@@ -38,12 +38,18 @@ class CandidateRecord:
 
 
 class SearchJournal:
-    """Append-only record of every candidate a search touched."""
+    """Append-only record of every candidate a search touched.
 
-    __slots__ = ("records",)
+    ``run_id`` carries the run identity of the run that recorded the
+    journal (see :mod:`repro.obs.runctx`), so a rendered candidate table
+    can be correlated with the run's ledger record.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("records", "run_id")
+
+    def __init__(self, run_id: str | None = None) -> None:
         self.records: list[CandidateRecord] = []
+        self.run_id = run_id
 
     def record(
         self,
@@ -135,9 +141,15 @@ def enabled() -> bool:
 
 
 def enable() -> SearchJournal:
-    """Start recording into a fresh journal (replaces any active one)."""
+    """Start recording into a fresh journal (replaces any active one).
+
+    The journal adopts the active run context's ID, if any, so its rows
+    are attributable to the run that produced them.
+    """
     global _journal
-    _journal = SearchJournal()
+    from repro.obs import runctx
+
+    _journal = SearchJournal(run_id=runctx.current_run_id())
     return _journal
 
 

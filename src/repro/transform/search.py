@@ -354,7 +354,7 @@ def evaluate_exact(
                 with ProcessPoolExecutor(
                     max_workers=workers,
                     initializer=obs.core._init_worker,
-                    initargs=(obs.enabled(),),
+                    initargs=(obs.enabled(), obs.runctx.worker_state()),
                 ) as pool:
                     pairs = list(pool.map(_eval_task, payloads, chunksize=chunk))
                 values = []

@@ -388,6 +388,7 @@ def max_window_size(
     44
     """
     resolved = resolve_engine(program, engine)
+    obs.counter(f"engine.{resolved}.calls")
     if resolved == "reference":
         return max_window_size_reference(
             program, array, transformation, profile=profile
@@ -425,6 +426,7 @@ def max_total_window(
     only).  ``engine`` selects the implementation (see :data:`ENGINES`).
     """
     resolved = resolve_engine(program, engine)
+    obs.counter(f"engine.{resolved}.calls")
     if resolved == "reference":
         return max_total_window_reference(program, transformation, arrays)
     if resolved == "streaming":

@@ -21,6 +21,43 @@ import pytest
 #: ``REPRO_FUZZ_SEED=17 pytest tests/test_properties_deep.py``.
 FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
 
+# ----------------------------------------------------------------------
+# tier-1 run ledger: when $REPRO_LEDGER_DIR is set (CI), seal one ledger
+# record for the whole pytest session so the test run is attributable
+# like any other analysis run.  The context is deliberately NOT
+# installed as the global runctx — tests that pin trace/meta formats
+# must not see a session-wide run ID leaking into their observers.
+# ----------------------------------------------------------------------
+_LEDGER_CTX = None
+
+
+def pytest_configure(config):
+    global _LEDGER_CTX
+    if not os.environ.get("REPRO_LEDGER_DIR"):
+        return
+    from repro.obs.runctx import RunContext, new_run_id
+
+    _LEDGER_CTX = RunContext(
+        run_id=new_run_id(),
+        command="pytest",
+        argv=tuple(config.invocation_params.args),
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    global _LEDGER_CTX
+    if _LEDGER_CTX is None:
+        return
+    ctx, _LEDGER_CTX = _LEDGER_CTX, None
+    from repro.obs import ledger
+
+    sink = ledger.resolve_sink(None)
+    ctx.annotate("tests", {
+        "collected": getattr(session, "testscollected", 0),
+        "failed": getattr(session, "testsfailed", 0),
+    })
+    ledger.seal_run(ctx, None, sink, status=int(exitstatus))
+
 try:  # optional; the suite must run without hypothesis installed
     from hypothesis import settings
 

@@ -9,6 +9,7 @@ import time
 import pytest
 
 from repro import obs
+from repro.obs import flight, runctx
 from repro.store import (
     BatchOutcome,
     ResultStore,
@@ -229,6 +230,83 @@ class TestCLI:
         assert "error" in capsys.readouterr().out
 
 
+class TestTimeoutTelemetry:
+    """ISSUE 7 satellite: a timed-out item's worker counters must not
+    vanish — the parent recovers the worker's last heartbeat snapshot,
+    counts the timeout, and attributes it on the run context."""
+
+    @pytest.fixture
+    def run_ctx(self, tmp_path):
+        ctx = runctx.begin_run("batch", live_dir=tmp_path / "live")
+        try:
+            yield ctx
+        finally:
+            runctx.end_run()
+
+    def test_timeout_recovers_partial_counters(
+        self, observer, run_ctx, monkeypatch
+    ):
+        # Fast heartbeats so the doomed worker flushes at least one
+        # counter snapshot before the 1s deadline (workers inherit the
+        # environment at pool start).
+        monkeypatch.setenv(flight.HEARTBEAT_ENV, "0.05")
+        report = run_batch(
+            [{"kind": "mws", "kernel": "2point"},
+             {"kind": "mws", "kernel": "sor"}],
+            workers=2,
+            timeout=1.0,
+            evaluator=_counting_sleepy_evaluator,
+        )
+        by_target = {o.item.target: o for o in report.outcomes}
+        assert by_target["sor"].status == "timeout"
+        assert by_target["2point"].status == "ok"
+        # New counter name plus the legacy alias, each exactly once.
+        assert observer.counters["batch.item.timeout"] == 1
+        assert observer.counters["batch.items.timeout"] == 1
+        # The counter bumped *inside* the abandoned worker survived via
+        # its heartbeat snapshot — no more silent telemetry loss.
+        assert observer.counters["test.batch.partial"] == 7
+
+        (attribution,) = run_ctx.extras["timeouts"]
+        assert "sor" in attribution["item"]
+        assert attribution["sig"]
+        assert attribution["timeout_s"] == 1.0
+        assert attribution["recovered_counters"]["test.batch.partial"] == 7
+
+        events = flight.read_heartbeats(run_ctx.live_path)
+        kinds = [e["ev"] for e in events]
+        assert "item_start" in kinds
+        assert "progress" in kinds
+        assert "item_timeout" in kinds
+        assert "batch_progress" in kinds
+        assert all(e["run"] == run_ctx.run_id for e in events)
+        done = [e for e in events if e["ev"] == "batch_progress"]
+        assert done[-1]["done"] == done[-1]["total"] == 2
+
+    def test_serial_run_emits_lifecycle_heartbeats(self, observer, run_ctx):
+        run_batch([{"kind": "mws", "kernel": "2point"}])
+        events = flight.read_heartbeats(run_ctx.live_path)
+        kinds = [e["ev"] for e in events]
+        assert kinds.count("item_start") == 1
+        assert kinds.count("item_done") == 1
+        assert kinds[-1] == "batch_progress"
+
+    def test_serial_error_heartbeat(self, observer, run_ctx):
+        run_batch(
+            [{"kind": "mws", "kernel": "sor"}],
+            evaluator=_explosive_evaluator,
+        )
+        kinds = [
+            e["ev"] for e in flight.read_heartbeats(run_ctx.live_path)
+        ]
+        assert "item_error" in kinds
+
+    def test_no_context_no_heartbeat_files(self, observer, tmp_path):
+        # Without a run context the flight recorder is fully inert.
+        run_batch([{"kind": "mws", "kernel": "2point"}])
+        assert flight.live_path() is None
+
+
 # Module-level so the batch machinery can pickle them to pool workers.
 def _sleepy_evaluator(kind, program, array, engine, store):
     if program.name == "sor":
@@ -241,6 +319,17 @@ def _sleepy_evaluator(kind, program, array, engine, store):
 def _explosive_evaluator(kind, program, array, engine, store):
     if program.name == "sor":
         raise RuntimeError("boom")
+    from repro.store.batch import _default_evaluator
+
+    return _default_evaluator(kind, program, array, engine, store)
+
+
+def _counting_sleepy_evaluator(kind, program, array, engine, store):
+    if program.name == "sor":
+        # Accrue telemetry, then blow the deadline: the bumped counter
+        # must come back to the parent via the heartbeat snapshot.
+        obs.counter("test.batch.partial", 7)
+        time.sleep(30)
     from repro.store.batch import _default_evaluator
 
     return _default_evaluator(kind, program, array, engine, store)

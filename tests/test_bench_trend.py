@@ -1,0 +1,196 @@
+"""Multi-baseline trend checking (``repro bench-trend``): a metric
+fails the build only when it drifts monotonically in the bad direction
+across the whole window, including the synthetic ``total_wall_s``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.reporting import compare_trajectory, render_trend
+
+
+def _artifact(metrics, created, bench="demo", wall_s=None):
+    return {
+        "bench": bench,
+        "schema": 1,
+        "created_unix": created,
+        "metrics": dict(metrics),
+        "wall_s": dict(wall_s or {}),
+    }
+
+
+def _trajectory(key, values, **kwargs):
+    return [
+        _artifact({key: value}, created=float(idx), **kwargs)
+        for idx, value in enumerate(values)
+    ]
+
+
+class TestTrendVerdicts:
+    def test_monotone_bad_drift_regresses(self):
+        report = compare_trajectory(_trajectory("mws_words", [100, 110, 130]))
+        (trend,) = report.regressions
+        assert trend.key == "mws_words"
+        assert trend.values == (100.0, 110.0, 130.0)
+        assert trend.rel_change == pytest.approx(0.3)
+        assert not report.ok
+
+    def test_single_noisy_point_never_fails(self):
+        # +20% total but not monotone: the middle point recovered.
+        report = compare_trajectory(_trajectory("mws_words", [100, 140, 120]))
+        assert report.ok
+
+    def test_drift_below_threshold_passes(self):
+        report = compare_trajectory(_trajectory("mws_words", [100, 105, 110]))
+        assert report.ok
+
+    def test_threshold_is_inclusive(self):
+        report = compare_trajectory(
+            _trajectory("mws_words", [100, 110, 120]), threshold=0.2
+        )
+        assert not report.ok
+
+    def test_higher_is_better_direction(self):
+        shrinking = compare_trajectory(_trajectory("reduction", [10, 9, 7]))
+        assert [t.key for t in shrinking.regressions] == ["reduction"]
+        growing = compare_trajectory(_trajectory("reduction", [7, 9, 10]))
+        assert growing.ok
+
+    def test_flat_series_passes(self):
+        report = compare_trajectory(_trajectory("mws_words", [50, 50, 50]))
+        assert report.ok
+
+    def test_zero_first_value_never_regresses(self):
+        report = compare_trajectory(_trajectory("mws_words", [0, 10, 20]))
+        assert report.ok
+
+    def test_fewer_points_than_window_skip(self):
+        report = compare_trajectory(_trajectory("mws_words", [100, 200]))
+        assert report.points == 2
+        assert report.trends == ()
+        assert report.ok
+        assert "not enough history" in render_trend(report)
+
+    def test_window_looks_at_tail_only(self):
+        # The regression healed inside the last 3 points.
+        report = compare_trajectory(
+            _trajectory("mws_words", [10, 100, 100, 100])
+        )
+        assert report.ok
+
+    def test_total_wall_s_synthesized_from_wall_sections(self):
+        artifacts = [
+            _artifact({}, created=float(idx),
+                      wall_s={"analyze": 1.0 * scale, "search": 2.0 * scale})
+            for idx, scale in enumerate([1.0, 1.2, 1.5])
+        ]
+        report = compare_trajectory(artifacts)
+        (trend,) = report.regressions
+        assert trend.key == "total_wall_s"
+        assert trend.values == pytest.approx((3.0, 3.6, 4.5))
+
+    def test_artifacts_ordered_by_created_unix(self):
+        # Passed newest-first: sorted by stamp, the series improves.
+        artifacts = list(reversed(_trajectory("mws_words", [130, 110, 100])))
+        report = compare_trajectory(artifacts)
+        (trend,) = report.trends
+        assert trend.values == (130.0, 110.0, 100.0)
+        assert report.ok
+
+    def test_only_shared_metrics_are_trended(self):
+        artifacts = _trajectory("mws_words", [100, 100, 100])
+        artifacts[-1]["metrics"]["new_metric"] = 5
+        report = compare_trajectory(artifacts)
+        assert [t.key for t in report.trends] == ["mws_words"]
+
+
+class TestRenderTrend:
+    def test_regression_rendering(self):
+        report = compare_trajectory(_trajectory("mws_words", [100, 110, 130]))
+        text = render_trend(report)
+        assert "TREND REGRESSION" in text
+        assert "100 -> 110 -> 130" in text
+        assert "TREND REGRESSIONS DETECTED" in text
+
+    def test_quiet_unless_verbose(self):
+        report = compare_trajectory(_trajectory("mws_words", [50, 50, 50]))
+        assert "no sustained drifts" in render_trend(report)
+        assert "mws_words" in render_trend(report, verbose=True)
+
+
+class TestCli:
+    def _write(self, directory, stem, artifact):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{stem}.json"
+        path.write_text(json.dumps(artifact), encoding="utf-8")
+        return path
+
+    def test_directory_trajectory_passes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        for idx, value in enumerate([100, 100, 100]):
+            self._write(tmp_path / "hist", f"p{idx}",
+                        _artifact({"mws_words": value}, created=float(idx)))
+        assert main(["bench-trend", str(tmp_path / "hist")]) == 0
+        assert "result: OK" in capsys.readouterr().out
+
+    def test_regressing_trajectory_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        for idx, value in enumerate([100, 115, 130]):
+            self._write(tmp_path / "hist", f"p{idx}",
+                        _artifact({"mws_words": value}, created=float(idx)))
+        assert main(["bench-trend", str(tmp_path / "hist")]) == 1
+        assert "TREND REGRESSIONS DETECTED" in capsys.readouterr().out
+
+    def test_mixed_dir_and_file_arguments(self, tmp_path, capsys):
+        from repro.cli import main
+
+        for idx, value in enumerate([100, 110]):
+            self._write(tmp_path / "hist", f"p{idx}",
+                        _artifact({"mws_words": value}, created=float(idx)))
+        fresh = self._write(tmp_path, "fresh",
+                            _artifact({"mws_words": 130}, created=9.0))
+        assert main(["bench-trend", str(tmp_path / "hist"), str(fresh)]) == 1
+
+    def test_benches_trend_independently(self, tmp_path, capsys):
+        from repro.cli import main
+
+        for idx, value in enumerate([100, 115, 130]):
+            self._write(tmp_path / "hist", f"bad{idx}",
+                        _artifact({"mws_words": value}, created=float(idx),
+                                  bench="bad"))
+            self._write(tmp_path / "hist", f"good{idx}",
+                        _artifact({"mws_words": 100}, created=float(idx),
+                                  bench="good"))
+        assert main(["bench-trend", str(tmp_path / "hist")]) == 1
+        out = capsys.readouterr().out
+        assert "bench bad" in out
+        assert "bench good" in out
+
+    def test_no_artifacts_found(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["bench-trend", str(tmp_path)]) == 1
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_checked_in_history_passes_with_fresh_point(self, tmp_path):
+        # The CI gate's exact shape: two checked-in history points plus
+        # a freshly built artifact must not trip the trend checker when
+        # the metrics are flat.
+        from repro.cli import main
+        from repro.reporting.telemetry import build_artifact
+
+        baseline = json.loads(
+            open("benchmarks/baselines/BENCH_figure2.json").read()
+        )
+        fresh = build_artifact(
+            "figure2", baseline["metrics"], wall_s={"kernel_rows": 1.0}
+        )
+        self._write(tmp_path, "figure2", fresh)
+        assert main([
+            "bench-trend", "benchmarks/baselines/history",
+            str(tmp_path / "BENCH_figure2.json"),
+        ]) == 0

@@ -1,0 +1,206 @@
+"""The ``repro runs`` family and ``repro tail``: ledger reads, live
+progress rendering, and the storeless failure mode."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import ledger, runctx
+from repro.reporting import render_run_record, render_runs_table
+from repro.store import ResultStore
+
+
+@pytest.fixture(autouse=True)
+def _clean_state(monkeypatch):
+    monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+    monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+    runctx.end_run()
+    obs.disable()
+    yield
+    runctx.end_run()
+    obs.disable()
+
+
+RUN_A = "20250101-000000-aaaaaa"
+RUN_B = "20250102-000000-bbbbbb"
+
+
+@pytest.fixture
+def seeded_store(tmp_path):
+    """A store holding two synthetic runs: a cold one and a warm one."""
+    store = ResultStore(tmp_path / "store")
+    cold = runctx.RunContext(
+        run_id=RUN_A, command="optimize", argv=("optimize", "x.loop"),
+        env={}, git="abc1234", started_unix=1.0,
+        inputs={"nest": "sig-1"},
+    )
+    ledger.seal_run(
+        cold,
+        {"counters": {"store.misses": 4, "engine.fast.calls": 2}},
+        store, status=0, result_digest="d" * 64,
+    )
+    warm = runctx.RunContext(
+        run_id=RUN_B, command="optimize", argv=("optimize", "x.loop"),
+        env={}, git="abc1234", started_unix=2.0,
+        inputs={"nest": "sig-1"},
+    )
+    ledger.seal_run(
+        warm,
+        {"counters": {"store.disk.hits": 4}},
+        store, status=0, result_digest="d" * 64,
+    )
+    return store
+
+
+def _main(argv):
+    from repro.cli import main
+
+    return main(argv)
+
+
+class TestRunsList:
+    def test_lists_oldest_first(self, seeded_store, capsys):
+        assert _main(["--store", str(seeded_store.root), "runs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert out.index(RUN_A) < out.index(RUN_B)
+        assert "hit rate" in out
+        assert "abc1234" in out
+
+    def test_empty_store(self, tmp_path, capsys):
+        store = ResultStore(tmp_path / "store")
+        assert _main(["--store", str(store.root), "runs", "list"]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_render_table_columns(self, seeded_store):
+        table = render_runs_table(ledger.list_runs(seeded_store))
+        lines = table.splitlines()
+        assert lines[0].startswith("run")
+        assert len(lines) == 4  # header, rule, two runs
+        assert "0.0%" in lines[2]  # cold: all misses
+        assert "100.0%" in lines[3]  # warm: all hits
+
+
+class TestRunsShow:
+    def test_show_defaults_to_last(self, seeded_store, capsys):
+        assert _main(["--store", str(seeded_store.root), "runs", "show"]) == 0
+        out = capsys.readouterr().out
+        assert RUN_B in out
+        assert "hit rate   : 100.0%" in out
+        assert "sha256:" in out
+
+    def test_show_by_prefix(self, seeded_store, capsys):
+        assert _main(
+            ["--store", str(seeded_store.root), "runs", "show", "20250101"]
+        ) == 0
+        assert RUN_A in capsys.readouterr().out
+
+    def test_show_missing_run(self, seeded_store, capsys):
+        assert _main(
+            ["--store", str(seeded_store.root), "runs", "show", "zzz"]
+        ) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_render_record_lists_sections(self, seeded_store):
+        record = ledger.load_run(seeded_store, RUN_A)
+        text = render_run_record(record)
+        assert "command    : optimize optimize x.loop" in text
+        assert "engines    : fastx2" in text
+        assert "nest: sig-1" in text
+
+
+class TestRunsDiff:
+    def test_diff_defaults_to_last_pair(self, seeded_store, capsys):
+        assert _main(["--store", str(seeded_store.root), "runs", "diff"]) == 0
+        out = capsys.readouterr().out
+        assert f"runs {RUN_A} -> {RUN_B}" in out
+        assert "attributed to store/cache hits" in out
+        assert "identical output digest" in out
+        assert "code       : unchanged" in out
+
+    def test_diff_missing_run(self, seeded_store, capsys):
+        assert _main(
+            ["--store", str(seeded_store.root), "runs", "diff", "zzz", "last"]
+        ) == 1
+        assert "not found" in capsys.readouterr().err
+
+
+class TestStoreless:
+    @pytest.mark.parametrize("argv", [
+        ["runs", "list"],
+        ["runs", "show", "last"],
+        ["tail", "some-run"],
+    ])
+    def test_fails_with_pointer_to_knobs(self, argv, capsys):
+        assert _main(argv) == 1
+        err = capsys.readouterr().err
+        assert "no run ledger" in err
+        assert "REPRO_LEDGER_DIR" in err
+
+
+def _write_live(store, run_id, events):
+    live = ledger.live_dir_for(store)
+    live.mkdir(parents=True, exist_ok=True)
+    path = live / f"{run_id}.jsonl"
+    path.write_text(
+        "".join(json.dumps(e) + "\n" for e in events), encoding="utf-8"
+    )
+    return path
+
+
+class TestWatchAndTail:
+    def test_watch_once_without_live_runs(self, seeded_store, capsys):
+        assert _main(
+            ["--store", str(seeded_store.root), "runs", "watch", "--once"]
+        ) == 0
+        assert "no live runs" in capsys.readouterr().out
+
+    def test_watch_once_renders_live_runs(self, seeded_store, capsys):
+        _write_live(seeded_store, RUN_A, [
+            {"ev": "item_start", "pid": 7, "item": "#0 mws sor", "ts": 1.0},
+            {"ev": "batch_progress", "pid": 7, "done": 0, "total": 2,
+             "eta_s": 4.0, "ts": 1.0},
+        ])
+        assert _main(
+            ["--store", str(seeded_store.root), "runs", "watch", "--once"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"run {RUN_A}" in out
+        assert "pid 7: #0 mws sor" in out
+        assert "batch: 0/2" in out
+
+    def test_tail_once_by_prefix(self, seeded_store, capsys):
+        _write_live(seeded_store, RUN_A, [
+            {"ev": "item_start", "pid": 7, "item": "#0 mws sor", "ts": 1.0},
+        ])
+        assert _main(
+            ["--store", str(seeded_store.root), "tail", "20250101", "--once"]
+        ) == 0
+        assert "pid 7" in capsys.readouterr().out
+
+    def test_tail_ambiguous_prefix(self, seeded_store, capsys):
+        _write_live(seeded_store, RUN_A, [])
+        _write_live(seeded_store, RUN_B, [])
+        assert _main(
+            ["--store", str(seeded_store.root), "tail", "2025", "--once"]
+        ) == 1
+        assert "ambiguous" in capsys.readouterr().err
+
+    def test_tail_missing_run(self, seeded_store, capsys):
+        assert _main(
+            ["--store", str(seeded_store.root), "tail", "zzz", "--once"]
+        ) == 1
+        assert "no live file" in capsys.readouterr().err
+
+    def test_tail_stops_at_run_end_without_once(self, seeded_store, capsys):
+        # The run_end heartbeat ends the follow loop, so no --once needed.
+        _write_live(seeded_store, RUN_A, [
+            {"ev": "item_done", "pid": 7, "item": "#0 mws sor", "ts": 1.0},
+            {"ev": "run_end", "pid": 7, "status": 0, "ts": 2.0},
+        ])
+        assert _main(
+            ["--store", str(seeded_store.root), "tail", RUN_A]
+        ) == 0
+        assert "run ended" in capsys.readouterr().out
