@@ -464,6 +464,56 @@ class CascadeConformance(Oracle):
 
 
 @register
+class BatchedScoringParity(Oracle):
+    name = "batched-scoring-parity"
+    kind = "cross"
+    paper = (
+        "Section 2.3 defines one window per (program, array, order); "
+        "scoring K candidate orders as one batch is pure re-association "
+        "of the same sweeps, so the batched scorer must equal the "
+        "per-candidate engines on every array and on the program total."
+    )
+    config = GeneratorConfig(depth=2, min_trip=2, max_trip=6)
+
+    def generate(self, seed: int) -> Program:
+        cfg = self.config
+        if seed % 4 == 3:
+            cfg = GeneratorConfig(depth=3, min_trip=2, max_trip=4, max_coeff=2)
+        return random_program(seed, cfg)
+
+    def check(self, program: Program, seed: int = 0) -> Violation | None:
+        from repro.transform.elementary import signed_permutations
+        from repro.window.batched import batched_mws
+        from repro.window.simulator import max_total_window, max_window_size
+
+        rng = random.Random(seed * 104_729 + program.nest.depth)
+        pool = list(signed_permutations(program.nest.depth))
+        rng.shuffle(pool)
+        candidates: list[IntMatrix | None] = [None, _seed_transformation(program, seed)]
+        candidates.extend(pool[:4])
+        for array in [None, *program.arrays]:
+            batch = batched_mws(program, candidates, array=array, engine="fast")
+            if array is None:
+                serial = [
+                    max_total_window(program, t, engine="fast")
+                    for t in candidates
+                ]
+            else:
+                serial = [
+                    max_window_size(program, array, t, engine="fast")
+                    for t in candidates
+                ]
+            if batch != serial:
+                where = array or "<total>"
+                return self.fail(
+                    f"array {where}: batched {batch} != per-candidate "
+                    f"{serial} over {len(candidates)} candidates",
+                    program,
+                )
+        return None
+
+
+@register
 class LineWindowElementParity(Oracle):
     name = "line-window-element-parity"
     kind = "cross"

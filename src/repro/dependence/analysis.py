@@ -17,6 +17,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.dependence.distance import is_lex_positive, lex_level
 from repro.ir.loop import LoopNest
 from repro.ir.program import Program
@@ -91,17 +93,44 @@ def _smallest_lex_positive_in_family(
         return p if is_lex_positive(p) else None
     if len(kernel) == 1:
         return _smallest_on_line(p, kernel[0])
-    # Higher-dimensional kernel: bounded search over coefficients, smallest
-    # lex-positive found.  Radius is ample for loop-sized distances.
+    # Higher-dimensional kernel: bounded search over coefficients,
+    # smallest lex-positive found.  Radius is ample for loop-sized
+    # distances.  The whole (2r+1)^K coefficient grid is evaluated with
+    # one matmul; lex-positivity is a leading-nonzero sign test and the
+    # lex-minimum a lexsort, all vectorized.  Int64 is safe: candidate
+    # components are bounded by |p| + K * radius * max|kernel entry|.
+    kmat = np.asarray(kernel, dtype=np.int64)
+    pvec = np.asarray(p, dtype=np.int64)
+    axis = np.arange(-search_radius, search_radius + 1, dtype=np.int64)
+    side = axis.shape[0]
+    if side ** len(kernel) <= (1 << 22):
+        grids = np.meshgrid(*([axis] * len(kernel)), indexing="ij")
+        coeffs = np.stack([g.ravel() for g in grids], axis=1)
+        chunks: "Iterator[np.ndarray] | list[np.ndarray]" = [
+            coeffs @ kmat + pvec
+        ]
+    else:
+        # Kernel dimension >= 4 at the full radius: chunk over the first
+        # coefficient so each candidate block stays grid-of-the-rest
+        # sized.
+        grids = np.meshgrid(*([axis] * (len(kernel) - 1)), indexing="ij")
+        rest = np.stack([g.ravel() for g in grids], axis=1)
+        base = rest @ kmat[1:] + pvec
+        chunks = (base + c0 * kmat[0] for c0 in axis)
     best: tuple[int, ...] | None = None
-    coeff_range = range(-search_radius, search_radius + 1)
-    for coeffs in itertools.product(coeff_range, repeat=len(kernel)):
-        cand = tuple(
-            pv + sum(c * kv[k] for c, kv in zip(coeffs, kernel))
-            for k, pv in enumerate(p)
-        )
-        if is_lex_positive(cand) and (best is None or cand < best):
-            best = cand
+    for cand in chunks:
+        nonzero = cand != 0
+        positive = nonzero.any(axis=1)
+        lead = np.argmax(nonzero, axis=1)
+        positive &= cand[np.arange(cand.shape[0]), lead] > 0
+        if not positive.any():
+            continue
+        selected = cand[positive]
+        # lexsort sorts by last key first; feed columns reversed.
+        order = np.lexsort(selected.T[::-1])
+        top = tuple(int(v) for v in selected[order[0]])
+        if best is None or top < best:
+            best = top
     return best
 
 

@@ -28,7 +28,7 @@ from typing import Sequence
 
 from repro import obs
 from repro.transform import journal
-from repro.window.mws import mws_2d_estimate
+from repro.window.mws import mws_2d_estimate_batch
 
 
 @dataclass(frozen=True)
@@ -173,25 +173,32 @@ def branch_and_bound_mws_2d(
                 )
             continue
         if (a_hi - a_lo) <= 1 and (b_hi - b_lo) <= 1:
-            for a in range(a_lo, a_hi + 1):
-                for b in range(b_lo, b_hi + 1):
-                    if (a, b) == (0, 0) or math.gcd(a, b) != 1:
-                        continue
-                    if a == 0 and b < 0:
-                        continue
-                    if not _feasible(a, b, distances):
-                        continue
-                    evaluated += 1
-                    value = mws_2d_estimate(alpha1, alpha2, n1, n2, a, b)
-                    if jr is not None:
-                        jr.record("bb", (a, b), "candidate", estimate=value)
-                    if best_value is None or value < best_value:
-                        best_value = value
-                        best_row = (a, b)
-                    if prune_bound is None or (
-                        best_value is not None and best_value < prune_bound
-                    ):
-                        prune_bound = best_value
+            # Leaf cells are evaluated unconditionally (no intra-leaf
+            # pruning), so batching the estimate calls is exactly
+            # semantics-preserving: same cells, same order, same
+            # incumbent updates, same journal records.
+            cells = [
+                (a, b)
+                for a in range(a_lo, a_hi + 1)
+                for b in range(b_lo, b_hi + 1)
+                if (a, b) != (0, 0)
+                and math.gcd(a, b) == 1
+                and not (a == 0 and b < 0)
+                and _feasible(a, b, distances)
+            ]
+            for (a, b), value in zip(
+                cells, mws_2d_estimate_batch(alpha1, alpha2, n1, n2, cells)
+            ):
+                evaluated += 1
+                if jr is not None:
+                    jr.record("bb", (a, b), "candidate", estimate=value)
+                if best_value is None or value < best_value:
+                    best_value = value
+                    best_row = (a, b)
+                if prune_bound is None or (
+                    best_value is not None and best_value < prune_bound
+                ):
+                    prune_bound = best_value
             continue
         # Branch on the longer axis.
         if (a_hi - a_lo) >= (b_hi - b_lo):

@@ -47,6 +47,7 @@ processes — see :mod:`repro.store`.
 
 from __future__ import annotations
 
+import functools
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -56,6 +57,7 @@ from typing import Sequence
 
 from repro import obs
 from repro.dependence.distance import lex_level
+from repro.envutil import env_int
 from repro.estimation import bounds
 from repro.estimation.parametric import clear_param_cache, parametric_value
 from repro.ir.program import Program
@@ -73,7 +75,7 @@ from repro.transform.legality import (
     ordering_distances,
     reuse_distances,
 )
-from repro.window.mws import mws_2d_estimate
+from repro.window.mws import mws_2d_estimate, mws_2d_estimate_batch
 
 
 @dataclass(frozen=True)
@@ -109,7 +111,21 @@ _EXACT_CACHE_LIMIT = 65536
 _EXACT_CACHE: LRUCache = LRUCache(_EXACT_CACHE_LIMIT, counter="search.cache")
 
 #: Below this many cache misses a process pool costs more than it saves.
+#: Measurement (bench_batched_scoring shapes, 2024-era 8-core x86): a
+#: pool spin-up costs ~80-150 ms while the *batched* serial path scores
+#: 8 misses of a 10^4-iteration nest in ~2 ms — the threshold is now
+#: conservative by a wide margin, but raising the default would change
+#: when existing workloads fork; tune per deployment with
+#: ``REPRO_PARALLEL_THRESHOLD`` instead.
 PARALLEL_THRESHOLD = 8
+
+#: Environment variable overriding :data:`PARALLEL_THRESHOLD`.
+PARALLEL_THRESHOLD_ENV = "REPRO_PARALLEL_THRESHOLD"
+
+
+def parallel_threshold() -> int:
+    """Miss count at which evaluation fans out to a pool (env-overridable)."""
+    return env_int(PARALLEL_THRESHOLD_ENV, PARALLEL_THRESHOLD)
 
 #: Whole-search memo: ``(kind, program signature, array, bounds...)`` ->
 #: :class:`SearchResult`.  Search results are pure in the program and the
@@ -240,15 +256,26 @@ def _eval_one(
     return max_window_size(program, array, t, engine=engine)
 
 
-def _eval_task(payload) -> tuple[int, dict[str, int]]:
-    """Worker-process entry point (must be module-level for pickling).
+def _score_misses(
+    program: Program,
+    array: str | None,
+    ts: Sequence[IntMatrix | None],
+    engine: str,
+) -> list[int]:
+    """Exact MWS for a list of cache misses, scored as one batch.
 
-    Returns the exact MWS together with the worker-side counter delta
-    for this task (the worker runs its own in-memory observer, started
-    by ``obs.core._init_worker``).  Counters are drained per task so a
-    worker reused for several tasks never double-reports; the parent
-    merges the deltas, making serial and parallel counter totals match.
+    Thin wrapper over :func:`repro.window.batched.batched_mws` (which
+    bumps ``batch.candidates`` and the per-candidate simulator counters
+    so serial, parallel, and batched totals reconcile).
     """
+    from repro.window.batched import batched_mws
+
+    return batched_mws(program, ts, array=array, engine=engine)
+
+
+def _eval_task(payload) -> tuple[int, dict[str, int]]:
+    """Single-candidate worker entry point (kept for compatibility;
+    the pool path submits chunks via :func:`_eval_batch_task`)."""
     program, array, rows, engine = payload
     t = None if rows is None else IntMatrix(rows)
     value = _eval_one(program, array, t, engine)
@@ -258,6 +285,29 @@ def _eval_task(payload) -> tuple[int, dict[str, int]]:
     delta = dict(worker_obs.counters)
     worker_obs.counters.clear()
     return value, delta
+
+
+def _eval_batch_task(payload) -> tuple[list[int], dict[str, int]]:
+    """Worker-process entry point (must be module-level for pickling).
+
+    Scores a *chunk* of candidates in one task, so the program pickles
+    once per chunk instead of once per candidate and the worker runs
+    the batched engine over the whole chunk.  Returns the exact values
+    together with the worker-side counter delta (the worker runs its
+    own in-memory observer, started by ``obs.core._init_worker``).
+    Counters are drained per task so a worker reused for several tasks
+    never double-reports; the parent merges the deltas, making serial
+    and parallel counter totals match.
+    """
+    program, array, rows_list, engine = payload
+    ts = [None if rows is None else IntMatrix(rows) for rows in rows_list]
+    values = _score_misses(program, array, ts, engine)
+    worker_obs = obs.get_observer()
+    if worker_obs is None:
+        return values, {}
+    delta = dict(worker_obs.counters)
+    worker_obs.counters.clear()
+    return values, delta
 
 
 def evaluate_exact(
@@ -336,7 +386,7 @@ def evaluate_exact(
     obs.counter("search.cache.hits", len(candidates) - len(misses) - substituted)
     obs.counter("search.cache.misses", len(misses))
     if misses:
-        parallel = workers > 1 and len(misses) >= PARALLEL_THRESHOLD
+        parallel = workers > 1 and len(misses) >= parallel_threshold()
         with obs.span(
             "evaluate",
             candidates=len(candidates),
@@ -346,27 +396,42 @@ def evaluate_exact(
             if parallel:
                 obs.counter("search.parallel.batches")
                 obs.counter("search.parallel.tasks", len(misses))
-                payloads = [
-                    (program, array, _t_key(candidates[idx]), engine)
-                    for idx in misses
+                # One task per chunk: the program pickles once per chunk
+                # and each worker scores its chunk with the batched
+                # engine.  ``search.parallel.tasks`` keeps counting
+                # candidates (the unit the accounting tests reconcile);
+                # ``search.parallel.chunks`` counts pool submissions.
+                chunk = max(1, math.ceil(len(misses) / (4 * workers)))
+                groups = [
+                    misses[i : i + chunk]
+                    for i in range(0, len(misses), chunk)
                 ]
-                chunk = max(1, len(misses) // (4 * workers))
+                obs.counter("search.parallel.chunks", len(groups))
+                payloads = [
+                    (
+                        program,
+                        array,
+                        [_t_key(candidates[idx]) for idx in group],
+                        engine,
+                    )
+                    for group in groups
+                ]
                 with ProcessPoolExecutor(
                     max_workers=workers,
                     initializer=obs.core._init_worker,
                     initargs=(obs.enabled(), obs.runctx.worker_state()),
                 ) as pool:
-                    pairs = list(pool.map(_eval_task, payloads, chunksize=chunk))
+                    pairs = list(pool.map(_eval_batch_task, payloads))
                 values = []
-                for value, delta in pairs:
-                    values.append(value)
+                for group_values, delta in pairs:
+                    values.extend(group_values)
                     for counter_name, amount in delta.items():
                         obs.counter(counter_name, amount)
             else:
-                values = [
-                    _eval_one(program, array, candidates[idx], engine)
-                    for idx in misses
-                ]
+                values = _score_misses(
+                    program, array,
+                    [candidates[idx] for idx in misses], engine,
+                )
         for idx, value in zip(misses, values):
             results[idx] = value
             _EXACT_CACHE.put((sig, array, _t_key(candidates[idx])), value)
@@ -441,6 +506,11 @@ def evaluate_cascade(
     without simulation — admissible, so the strict-< first-wins winner
     is identical to :func:`evaluate_exact` over all candidates.  The
     first candidate is never pruned, so at least one outcome is exact.
+    Survivors are simulated in windows of ``REPRO_BATCH_SIZE`` through
+    the batched engine (the first window is a single candidate, so the
+    incumbent exists before batching); a window sees the incumbent as
+    of the last flush, which can only *add* simulations relative to the
+    sequential cascade, never change a reported value or the winner.
 
     Counters: ``search.cascade.{tier1,tier2_pruned,pruned,simulated,
     lb_evals}`` (``pruned`` = ``tier1`` + ``tier2_pruned``); each prune
@@ -516,45 +586,72 @@ def evaluate_cascade(
             )
         obs.counter("search.cascade.lb_evals", len(candidates))
 
+    # Survivors are simulated in *windows* through the batched engine.
+    # The first window has size 1 — the first survivor always simulates
+    # alone, establishing the incumbent before any batching — and later
+    # windows use the REPRO_BATCH_SIZE knob.  Pruning decisions inside a
+    # window see the incumbent as of the last flush (plus cache hits),
+    # so the windowed cascade simulates a superset of the sequential
+    # one; every reported exact value is the true MWS either way, and
+    # the strict-< first-wins winner is identical.
+    from repro.window.batched import batch_size
+
     incumbent: int | None = None
     tier1_pruned = tier2_pruned = simulated = 0
-    outcomes: list[CascadeOutcome] = []
+    outcomes: list[CascadeOutcome | None] = [None] * len(candidates)
+    pending: list[int] = []
+    window = 1
+
+    def _flush() -> None:
+        nonlocal incumbent, window
+        if not pending:
+            return
+        values = evaluate_exact(
+            program, [candidates[i] for i in pending], array=array,
+            workers=workers, engine=engine, store=store,
+            parametric=parametric,
+        )
+        for i, value in zip(pending, values):
+            outcomes[i] = CascadeOutcome(value, True, "simulated")
+            if incumbent is None or value < incumbent:
+                incumbent = value
+        pending.clear()
+        window = batch_size()
+
     for idx, t in enumerate(candidates):
         hit = _EXACT_CACHE.get((sig, array, _t_key(t)))
         if hit is not None:
             obs.counter("search.cache.hits", 1)
             if jr is not None:
                 jr.record("evaluate", _t_key(t), "cache_hit", exact=hit)
-            outcome = CascadeOutcome(hit, True, "cache")
-        else:
-            lb, tier = tier1_floor, "tier1"
-            if lower_bounds is not None and lower_bounds[idx] > lb:
-                lb, tier = lower_bounds[idx], "tier2"
-            if incumbent is not None and lb >= incumbent:
-                if tier == "tier1":
-                    tier1_pruned += 1
-                    reason = (f"cascade: tier-1 certified reuse floor {lb} "
-                              f">= incumbent {incumbent}")
-                else:
-                    tier2_pruned += 1
-                    reason = (f"cascade: tier-2 clipped-program lower bound "
-                              f"{lb} >= incumbent {incumbent}")
-                if jr is not None:
-                    jr.record(
-                        "cascade", _t_key(t), "pruned",
-                        reason=reason, estimate=lb,
-                    )
-                outcome = CascadeOutcome(lb, False, tier)
+            outcomes[idx] = CascadeOutcome(hit, True, "cache")
+            if incumbent is None or hit < incumbent:
+                incumbent = hit
+            continue
+        lb, tier = tier1_floor, "tier1"
+        if lower_bounds is not None and lower_bounds[idx] > lb:
+            lb, tier = lower_bounds[idx], "tier2"
+        if incumbent is not None and lb >= incumbent:
+            if tier == "tier1":
+                tier1_pruned += 1
+                reason = (f"cascade: tier-1 certified reuse floor {lb} "
+                          f">= incumbent {incumbent}")
             else:
-                simulated += 1
-                value = evaluate_exact(
-                    program, [t], array=array, workers=workers, engine=engine,
-                    store=store, parametric=parametric,
-                )[0]
-                outcome = CascadeOutcome(value, True, "simulated")
-        if outcome.exact and (incumbent is None or outcome.value < incumbent):
-            incumbent = outcome.value
-        outcomes.append(outcome)
+                tier2_pruned += 1
+                reason = (f"cascade: tier-2 clipped-program lower bound "
+                          f"{lb} >= incumbent {incumbent}")
+            if jr is not None:
+                jr.record(
+                    "cascade", _t_key(t), "pruned",
+                    reason=reason, estimate=lb,
+                )
+            outcomes[idx] = CascadeOutcome(lb, False, tier)
+            continue
+        simulated += 1
+        pending.append(idx)
+        if len(pending) >= window:
+            _flush()
+    _flush()
     obs.counter("search.cascade.tier1", tier1_pruned)
     obs.counter("search.cascade.tier2_pruned", tier2_pruned)
     obs.counter("search.cascade.pruned", tier1_pruned + tier2_pruned)
@@ -583,13 +680,15 @@ def _decode_outcomes(value) -> list[CascadeOutcome] | None:
         return None
 
 
-def _coprime_rows(bound: int):
+@functools.lru_cache(maxsize=None)
+def _coprime_rows(bound: int) -> tuple[tuple[int, int], ...]:
     """Candidate first rows: coprime (a, b), not both negative-leading.
 
     The first row of a legal transformation applied to a lex-positive
     distance must produce a non-negative leading component, so rows and
     their negations are equivalent up to the completion step; enumerate a
-    canonical half-space plus the axes.
+    canonical half-space plus the axes.  Cached — every 2-D search and
+    branch-and-bound run over the same bound re-enumerates the same box.
     """
     rows = []
     for a in range(0, bound + 1):
@@ -601,7 +700,7 @@ def _coprime_rows(bound: int):
             if math.gcd(a, b) != 1:
                 continue
             rows.append((a, b))
-    return rows
+    return tuple(rows)
 
 
 def search_mws_2d_eager(
@@ -738,8 +837,8 @@ def search_mws_2d(
         n1, n2 = program.nest.trip_counts
         jr = journal.active()
         examined = 0
-        feasible: list[tuple[Fraction, tuple[int, int]]] = []
         with obs.span("estimate"):
+            tileable: list[tuple[int, int]] = []
             for a, b in _coprime_rows(bound):
                 examined += 1
                 if any(a * d1 + b * d2 < 0 for d1, d2 in window_dists):
@@ -749,13 +848,21 @@ def search_mws_2d(
                             reason="tiling: a*d1 + b*d2 < 0 for a reuse distance",
                         )
                     continue
-                if use_eq2:
-                    estimate = mws_2d_estimate(alpha[0], alpha[1], n1, n2, a, b)
-                else:
-                    estimate = Fraction(
+                tileable.append((a, b))
+            if use_eq2:
+                estimates = mws_2d_estimate_batch(
+                    alpha[0], alpha[1], n1, n2, tileable
+                )
+            else:
+                estimates = [
+                    Fraction(
                         sum(abs(a * d1 + b * d2) for d1, d2 in window_dists), 1
                     )
-                feasible.append((estimate, (a, b)))
+                    for a, b in tileable
+                ]
+            feasible: list[tuple[Fraction, tuple[int, int]]] = list(
+                zip(estimates, tileable)
+            )
         obs.counter("search.candidates.examined", examined)
         # Stable sort keeps enumeration order within equal estimates, so
         # survivors collect in the same relative order the eager search

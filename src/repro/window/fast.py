@@ -135,8 +135,28 @@ def _iteration_matrix(program: Program) -> np.ndarray:
 
 
 def clear_iteration_cache() -> None:
-    """Drop all cached iteration/element state (tests, memory pressure)."""
+    """Drop all cached iteration/element state (tests, memory pressure).
+
+    Specialized sweep kernels (:mod:`repro.window.batched`) are compiled
+    against the cached element layout, so they are dropped alongside it.
+    """
     _ITER_STATE.clear()
+    from repro.window.batched import clear_kernel_cache
+
+    clear_kernel_cache()
+
+
+def spans_fit_int64(spans: Sequence[int]) -> bool:
+    """Whether a mixed-radix pack over ``spans`` stays inside int64.
+
+    The packed key for per-column extents ``spans`` ranges over
+    ``[0, prod(spans))``; heavily skewed transformations can push that
+    product past 2**62, where :func:`_pack_columns` would silently wrap.
+    Callers must fall back to ``np.lexsort`` dense ranks (or refuse, for
+    element ids) when this returns False.  ``math.prod`` over Python
+    ints cannot itself overflow.
+    """
+    return math.prod(int(s) for s in spans) < _INT64_LIMIT
 
 
 def _affine_extents(
@@ -175,8 +195,13 @@ def _pack_columns(
     With every column shifted into ``[0, span)``, the packing is a
     bijection from coordinate tuples to integers that preserves
     lexicographic order — the packed keys are order-isomorphic to the
-    rows.
+    rows.  Callers must have checked :func:`spans_fit_int64`; the guard
+    here is the last line of defense against silent int64 wrap.
     """
+    if not spans_fit_int64(spans):
+        raise OverflowError(
+            f"mixed-radix pack over spans {list(spans)} exceeds int64"
+        )
     packed = np.zeros(values.shape[0], dtype=np.int64)
     for dim in range(values.shape[1]):
         packed = packed * np.int64(spans[dim])
@@ -205,8 +230,9 @@ def _time_keys(
         rows, [0] * len(rows), program.nest.lowers, program.nest.uppers
     )
     spans = [hi - lo + 1 for lo, hi in zip(mins, maxs)]
-    if math.prod(spans) >= _INT64_LIMIT:
-        # Extents too wide to pack; fall back to dense ranks.
+    if not spans_fit_int64(spans):
+        # Extents too wide to pack; fall back to dense lexsort ranks.
+        obs.counter("fast.pack.fallback")
         return _execution_times(program, transformation)
     t = np.array(rows, dtype=np.int64)
     return _pack_columns(state.points @ t.T, mins, spans)
@@ -253,7 +279,7 @@ def _element_state(program: Program, array: str) -> _ElementState:
     mins = stacked.min(axis=0)
     maxs = stacked.max(axis=0)
     spans = (maxs - mins + 1).astype(np.int64)
-    if math.prod(int(s) for s in spans) >= _INT64_LIMIT:
+    if not spans_fit_int64(spans):
         raise ValueError(
             f"array {array}: touched bounding box {spans.tolist()} too "
             f"large for int64 element packing"
