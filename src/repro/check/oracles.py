@@ -975,3 +975,225 @@ class TimeReversalInvariance(Oracle):
                 f"total window {t0} -> {t1} under time reversal", program
             )
         return None
+
+
+# ----------------------------------------------------------------------
+# memory-hierarchy oracles (conformance tier for the multi-level model)
+# ----------------------------------------------------------------------
+
+def _seed_hierarchy(seed: int):
+    """A deterministic pseudo-random tier stack for ``seed``.
+
+    1-3 tiers with small capacities (generated programs are small), and
+    per-access costs drawn then *sorted* so the constructor's
+    non-decreasing-with-depth requirement holds by construction.
+    """
+    from repro.memory.hierarchy import MemoryHierarchy, MemoryTier
+
+    rng = random.Random(seed * 9973 + 11)
+    depth = rng.randint(1, 3)
+    energies = sorted(round(rng.uniform(1.0, 40.0), 1) for _ in range(depth))
+    latencies = sorted(round(rng.uniform(0.5, 20.0), 1) for _ in range(depth))
+    tiers = tuple(
+        MemoryTier(f"t{k + 1}", rng.randint(1, 48), latencies[k], energies[k])
+        for k in range(depth)
+    )
+    return MemoryHierarchy(name=f"fuzz{seed}", tiers=tiers)
+
+
+@register
+class HierarchyDegenerateFlat(Oracle):
+    name = "hierarchy-degenerate-flat"
+    kind = "cross"
+    paper = (
+        "The stacked simulation defines tier k by the flat Belady run at "
+        "the cumulative capacity c_1+...+c_k, so a one-tier hierarchy is "
+        "*definitionally* the paper's flat scratchpad: its only level "
+        "must reproduce simulate_scratchpad field for field, and its "
+        "energy must be hits at the tier cost plus transfers at the "
+        "backing cost."
+    )
+    config = GeneratorConfig(depth=2, min_trip=2, max_trip=6)
+
+    def check(self, program: Program, seed: int = 0) -> Violation | None:
+        from repro.memory.hierarchy import (
+            MemoryHierarchy,
+            MemoryTier,
+            simulate_hierarchy,
+        )
+        from repro.memory.scratchpad import simulate_scratchpad
+
+        t = _seed_transformation(program, seed)
+        rng = random.Random(seed * 104729 + 7)
+        for transformation in (None, t):
+            for policy in ("belady", "lru"):
+                capacity = rng.randint(1, 64)
+                hier = MemoryHierarchy(
+                    "one", (MemoryTier("only", capacity, 2.0, 5.0),)
+                )
+                stacked = simulate_hierarchy(
+                    program, hier,
+                    transformation=transformation, policy=policy,
+                )
+                flat = simulate_scratchpad(
+                    program, capacity,
+                    transformation=transformation, policy=policy,
+                )
+                where = (
+                    f"capacity {capacity}, policy {policy}, "
+                    + ("native" if transformation is None
+                       else f"T={transformation.rows}")
+                )
+                if stacked.levels[0] != flat:
+                    return self.fail(
+                        f"{where}: one-tier level differs from flat "
+                        f"scratchpad: {stacked.levels[0]} != {flat}",
+                        program,
+                    )
+                tier = stacked.tiers[0]
+                if (
+                    tier.hits != flat.hits
+                    or tier.lookups != flat.accesses
+                    or tier.fetches_below != flat.misses
+                    or tier.writebacks_below != flat.writebacks
+                    or stacked.offchip_transfers != flat.offchip_transfers
+                ):
+                    return self.fail(
+                        f"{where}: tier accounting differs from flat "
+                        f"stats: {tier} vs {flat}",
+                        program,
+                    )
+                energy = (
+                    flat.hits * hier.tiers[0].energy_pj
+                    + flat.offchip_transfers * hier.offchip_energy_pj
+                )
+                if abs(stacked.energy_pj - energy) > 1e-6:
+                    return self.fail(
+                        f"{where}: one-tier energy {stacked.energy_pj} != "
+                        f"hits*E + transfers*E_back = {energy}",
+                        program,
+                    )
+        return None
+
+
+@register
+class HierarchyCapacityMonotone(Oracle):
+    name = "hierarchy-capacity-monotone"
+    kind = "metamorphic"
+    paper = (
+        "Belady is a stack algorithm: misses and dirty evictions are "
+        "non-increasing in capacity, every boundary simulates at a "
+        "cumulative capacity, and the constructor requires per-access "
+        "costs non-decreasing with depth — so growing any tier (costs "
+        "fixed) can only shift hits toward cheaper tiers: no boundary's "
+        "transfers, nor the total energy/latency, may increase."
+    )
+    config = GeneratorConfig(depth=2, min_trip=2, max_trip=6)
+
+    def check(self, program: Program, seed: int = 0) -> Violation | None:
+        from repro.memory.hierarchy import simulate_hierarchy
+
+        hier = _seed_hierarchy(seed)
+        rng = random.Random(seed * 15485863 + 3)
+        index = rng.randrange(hier.depth)
+        delta = rng.randint(1, 32)
+        grown = hier.resized(
+            index, hier.tiers[index].capacity_words + delta
+        )
+        base = simulate_hierarchy(program, hier)
+        more = simulate_hierarchy(program, grown)
+        where = f"tier {index} of {hier.spec()['tiers']} grown by {delta}"
+        for level, (before, after) in enumerate(zip(base.levels, more.levels)):
+            if after.offchip_transfers > before.offchip_transfers:
+                return self.fail(
+                    f"{where}: boundary {level} transfers grew "
+                    f"{before.offchip_transfers} -> "
+                    f"{after.offchip_transfers}",
+                    program,
+                )
+        if more.offchip_transfers > base.offchip_transfers:
+            return self.fail(
+                f"{where}: off-chip transfers grew "
+                f"{base.offchip_transfers} -> {more.offchip_transfers}",
+                program,
+            )
+        if more.energy_pj > base.energy_pj + 1e-6:
+            return self.fail(
+                f"{where}: energy grew {base.energy_pj} -> "
+                f"{more.energy_pj}",
+                program,
+            )
+        if more.latency_ns > base.latency_ns + 1e-6:
+            return self.fail(
+                f"{where}: latency grew {base.latency_ns} -> "
+                f"{more.latency_ns}",
+                program,
+            )
+        return None
+
+
+@register
+class HierarchyBoundAdmissible(Oracle):
+    name = "hierarchy-bound-admissible"
+    kind = "cross"
+    paper = (
+        "Hong & Kung's phase argument and the cold-traffic floor hold "
+        "for any replacement policy, so transfer_lower_bound must never "
+        "exceed the transfers any simulation reports — Belady or LRU, "
+        "native or transformed order, whole program or one array, flat "
+        "buffer or tier stack at its total capacity."
+    )
+    config = GeneratorConfig(depth=2, min_trip=2, max_trip=6)
+
+    def check(self, program: Program, seed: int = 0) -> Violation | None:
+        from repro.estimation.bounds import transfer_lower_bound
+        from repro.memory.hierarchy import simulate_hierarchy
+        from repro.memory.scratchpad import simulate_scratchpad
+
+        t = _seed_transformation(program, seed)
+        rng = random.Random(seed * 32452843 + 17)
+        capacities = [rng.randint(1, 8), rng.randint(9, 64)]
+        for transformation in (None, t):
+            for policy in ("belady", "lru"):
+                for capacity in capacities:
+                    lb = transfer_lower_bound(
+                        program, capacity, None, transformation
+                    )
+                    sim = simulate_scratchpad(
+                        program, capacity,
+                        transformation=transformation, policy=policy,
+                    )
+                    if lb > sim.offchip_transfers:
+                        return self.fail(
+                            f"capacity {capacity} ({policy}): bound {lb} "
+                            f"> simulated transfers "
+                            f"{sim.offchip_transfers}",
+                            program,
+                        )
+            for array in program.arrays:
+                capacity = capacities[0]
+                lb = transfer_lower_bound(
+                    program, capacity, array, transformation
+                )
+                sim = simulate_scratchpad(
+                    program, capacity, array=array,
+                    transformation=transformation,
+                )
+                if lb > sim.offchip_transfers:
+                    return self.fail(
+                        f"array {array} at capacity {capacity}: bound "
+                        f"{lb} > simulated transfers "
+                        f"{sim.offchip_transfers}",
+                        program,
+                    )
+        hier = _seed_hierarchy(seed)
+        stacked = simulate_hierarchy(program, hier)
+        lb = transfer_lower_bound(program, hier.total_capacity)
+        if lb > stacked.offchip_transfers:
+            return self.fail(
+                f"stack {hier.spec()['tiers']}: bound {lb} at total "
+                f"capacity {hier.total_capacity} > simulated off-chip "
+                f"transfers {stacked.offchip_transfers}",
+                program,
+            )
+        return None

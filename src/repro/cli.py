@@ -92,9 +92,69 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     print(f"reduction  : {100 * result.reduction:.1f}%")
     print("T =")
     print(result.transformation.pretty())
+    if args.hierarchy:
+        from repro.memory.hierarchy import preset
+        from repro.transform.hierarchy_search import search_hierarchy
+
+        hierarchy = preset(args.hierarchy)
+        search = search_hierarchy(
+            program,
+            hierarchy,
+            candidates=[None, result.transformation],
+            store=args.store_obj,
+        )
+        print()
+        print(f"hierarchy plan ({hierarchy.name}):")
+        print(f"  joint : {search.best.describe(hierarchy)}")
+        print(f"  flat  : {search.flat.describe(hierarchy)}")
+        print(f"  saving: {search.savings_pct:.1f}% "
+              f"(certified floor {search.floor_energy_pj:.0f} pJ)")
     if args.codegen:
         print()
         print(generate_transformed_source(program, result.transformation))
+    return 0
+
+
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    from repro.memory.hierarchy import preset
+    from repro.memory.sizing import size_memory_for_hierarchy
+    from repro.reporting import render_hierarchy_table
+    from repro.transform.hierarchy_search import search_hierarchy
+
+    if Path(args.target).exists():
+        program = _load(args.target)
+    else:
+        from repro.kernels import kernel_by_name
+
+        program = kernel_by_name(args.target).build()
+    hierarchy = preset(args.preset)
+    report = size_memory_for_hierarchy(
+        program, hierarchy, policy=args.policy, engine=args.engine
+    )
+    needed = (
+        "insufficient (capacity misses unavoidable)"
+        if report.tiers_needed is None
+        else f"{report.tiers_needed} of {hierarchy.depth}"
+    )
+    print(f"{program.name} through hierarchy {hierarchy.name!r}")
+    print(f"maximum window size : {report.mws_words} words")
+    print(f"tiers needed        : {needed}")
+    print()
+    print(render_hierarchy_table(report.stats))
+    if not args.no_search:
+        candidates = [None] if args.native else None
+        search = search_hierarchy(
+            program, hierarchy, candidates=candidates, store=args.store_obj
+        )
+        print()
+        print("joint (transformation, tile, placement) search:")
+        print(f"  joint : {search.best.describe(hierarchy)}")
+        print(f"  flat  : {search.flat.describe(hierarchy)}")
+        print(f"  saving: {search.savings_pct:.1f}%  "
+              f"certified floor {search.floor_energy_pj:.0f} pJ  "
+              f"offchip lower bound {search.bound_words} words")
+        print(f"  configs {search.configs}  evaluated {search.evaluated}  "
+              f"pruned {search.pruned}")
     return 0
 
 
@@ -620,7 +680,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="answer candidate scores from derived closed forms where possible",
     )
+    p.add_argument(
+        "--hierarchy",
+        metavar="PRESET",
+        help="also plan tile sizes and tier placements against a "
+             "hierarchy preset (tcm, cache, flat)",
+    )
     p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser(
+        "hierarchy",
+        help="simulate a multi-tier memory stack and plan placements",
+    )
+    p.add_argument("target", help="kernel name (e.g. sor) or loop-nest file")
+    p.add_argument(
+        "--preset",
+        default="tcm",
+        help="hierarchy preset: tcm, cache, or flat (default: tcm)",
+    )
+    p.add_argument(
+        "--policy",
+        choices=("belady", "lru"),
+        default="belady",
+        help="per-boundary replacement policy (default: belady)",
+    )
+    p.add_argument(
+        "--no-search",
+        action="store_true",
+        help="skip the joint tile/placement search, print the simulation only",
+    )
+    p.add_argument(
+        "--native",
+        action="store_true",
+        help="search tile/placement for the native order only (skip the "
+             "transformation sweep; much faster on deep or large nests)",
+    )
+    p.set_defaults(func=_cmd_hierarchy)
 
     p = sub.add_parser("size", help="provision an on-chip buffer")
     p.add_argument("file")

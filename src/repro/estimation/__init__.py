@@ -16,6 +16,7 @@ from repro.estimation.distinct import (
 from repro.estimation.bounds import (
     NonUniformBounds,
     nonuniform_bounds,
+    transfer_lower_bound,
 )
 from repro.estimation.exact import (
     exact_distinct_accesses,
@@ -50,6 +51,7 @@ __all__ = [
     "estimate_distinct_accesses",
     "NonUniformBounds",
     "nonuniform_bounds",
+    "transfer_lower_bound",
     "exact_distinct_accesses",
     "exact_program_footprint",
     "distinct_accesses_multiref_1d",

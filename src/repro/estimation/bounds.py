@@ -312,6 +312,68 @@ def certified_zero_total(program: Program) -> bool:
     )
 
 
+# ---------------------------------------------------------------------------
+# Off-chip transfer lower bound (Hong-Kung phases, Dinh-Demmel style).
+# ---------------------------------------------------------------------------
+
+
+def transfer_lower_bound(
+    program: Program,
+    capacity: int,
+    array: str | None = None,
+    transformation=None,
+    stream: list[tuple[tuple, bool]] | None = None,
+) -> int:
+    """Admissible lower bound on off-chip transfers at ``capacity`` words.
+
+    Two classic arguments, both valid for *any* replacement policy (so in
+    particular for the Belady simulation and for any DMA/tiling plan whose
+    resident set never exceeds ``capacity``):
+
+    * cold traffic — every distinct element must be fetched at least once,
+      and every distinct *written* element must reach the backing store at
+      least once (the simulator's final flush guarantees the latter);
+    * phase traffic (Hong & Kung's I/O argument) — cut the trace into
+      consecutive phases, closing a phase once it has touched ``2 *
+      capacity`` distinct elements.  At most ``capacity`` of a phase's
+      elements can already be resident when it starts, so the phase forces
+      at least ``d_p - capacity`` fetches.  The cut rule follows Hong-Kung;
+      admissibility holds for *any* cut, so the choice only affects
+      tightness.
+
+    The returned bound ``max(distinct, phase) + distinct_written`` is
+    therefore <= ``simulate_scratchpad(...).offchip_transfers`` for every
+    program/order/capacity (the ``hierarchy-bound-admissible`` oracle) and
+    <= any hierarchy plan's off-chip DMA volume at the same total
+    capacity, which is what lets the hierarchy search use it for pruning.
+
+    ``stream`` short-circuits the trace construction when the caller
+    already holds the ``(element, is_write)`` trace in the order being
+    bounded (the hierarchy search shares one cached trace across its
+    bound evaluations); ``array``/``transformation`` are ignored then.
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    if stream is None:
+        from repro.memory.scratchpad import access_stream
+
+        stream = access_stream(program, array, transformation)
+    distinct: set = set()
+    written: set = set()
+    phase_bound = 0
+    phase: set = set()
+    for element, is_write in stream:
+        distinct.add(element)
+        if is_write:
+            written.add(element)
+        phase.add(element)
+        if len(phase) == 2 * capacity:
+            phase_bound += len(phase) - capacity
+            phase = set()
+    phase_bound += max(0, len(phase) - capacity)
+    return max(len(distinct), phase_bound) + len(written)
+
+
 #: ``(program signature, budget)`` -> clipped program.  Bounded: cleared
 #: wholesale when it outgrows its cap.
 _CLIP_CACHE: dict[tuple[str, int], Program] = {}

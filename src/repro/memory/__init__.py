@@ -11,7 +11,17 @@ traffic numbers.
 
 from repro.memory.scratchpad import (
     ScratchpadStats,
+    access_stream,
     simulate_scratchpad,
+)
+from repro.memory.hierarchy import (
+    HierarchyStats,
+    MemoryHierarchy,
+    MemoryTier,
+    PRESETS,
+    TierStats,
+    preset,
+    simulate_hierarchy,
 )
 from repro.memory.cachesim import (
     CacheConfig,
@@ -26,13 +36,23 @@ from repro.memory.energy import (
     area_mm2,
 )
 from repro.memory.sizing import (
+    HierarchySizingReport,
     SizingReport,
+    size_memory_for_hierarchy,
     size_memory_for_program,
 )
 
 __all__ = [
     "ScratchpadStats",
+    "access_stream",
     "simulate_scratchpad",
+    "HierarchyStats",
+    "MemoryHierarchy",
+    "MemoryTier",
+    "PRESETS",
+    "TierStats",
+    "preset",
+    "simulate_hierarchy",
     "CacheConfig",
     "CacheStats",
     "allocate_arrays",
@@ -41,6 +61,8 @@ __all__ = [
     "access_energy_pj",
     "access_latency_ns",
     "area_mm2",
+    "HierarchySizingReport",
     "SizingReport",
+    "size_memory_for_hierarchy",
     "size_memory_for_program",
 ]

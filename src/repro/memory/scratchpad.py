@@ -43,32 +43,19 @@ class ScratchpadStats:
         return self.hits / self.accesses if self.accesses else 0.0
 
 
-def simulate_scratchpad(
+def access_stream(
     program: Program,
-    capacity: int,
     array: str | None = None,
     transformation: IntMatrix | None = None,
-    policy: str = "belady",
-) -> ScratchpadStats:
-    """Run the access stream through a managed on-chip buffer.
+) -> list[tuple[tuple, bool]]:
+    """The program's ``(element id, is_write)`` trace in execution order.
 
-    ``array`` restricts the simulation to one array (per-array buffers are
-    how the paper sizes windows); None simulates all arrays sharing the
-    buffer.  ``transformation`` replays the stream in the transformed
-    execution order.
-
-    ``policy="belady"`` evicts the resident element whose next use is
-    farthest in the future (never-used-again elements first) — optimal,
-    matching the window model's assumption of perfect management, so a
-    buffer of MWS elements suffers cold misses only.  ``policy="lru"``
-    models a hardware cache without future knowledge; the ablation bench
-    measures how much extra capacity LRU needs to reach the same traffic.
+    ``array`` restricts the trace to one array; ``transformation`` replays
+    it in the transformed execution order.  This is the one trace every
+    buffer model shares — the flat scratchpad and the multi-tier hierarchy
+    simulate the *same* list, which is what makes a one-tier hierarchy
+    reproduce :func:`simulate_scratchpad` exactly.
     """
-    if capacity <= 0:
-        raise ValueError("capacity must be positive")
-    if policy not in ("belady", "lru"):
-        raise ValueError(f"unknown policy {policy!r}")
-    # Materialize the access stream (element ids with next-use indices).
     refs = [
         (ordinal, ref)
         for ordinal, ref in enumerate(program.references)
@@ -87,15 +74,31 @@ def simulate_scratchpad(
     for point in points:
         for _, ref in refs:
             stream.append(((ref.array, ref.element(point)), ref.is_write))
+    return stream
 
-    # Precompute next-use chains.
+
+def next_use_chain(stream: list[tuple[tuple, bool]]) -> list[int]:
+    """For each access, the index of the element's next access (or end)."""
     next_use = [len(stream)] * len(stream)
     last_seen: dict[tuple, int] = {}
     for idx in range(len(stream) - 1, -1, -1):
         element = stream[idx][0]
         next_use[idx] = last_seen.get(element, len(stream))
         last_seen[element] = idx
+    return next_use
 
+
+def simulate_stream(
+    stream: list[tuple[tuple, bool]],
+    next_use: list[int],
+    capacity: int,
+    policy: str = "belady",
+) -> ScratchpadStats:
+    """Run a prepared access trace through one managed buffer."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    if policy not in ("belady", "lru"):
+        raise ValueError(f"unknown policy {policy!r}")
     # resident maps element -> priority (next-use index for Belady,
     # last-use recency for LRU); the lazy heap orders eviction victims.
     use_belady = policy == "belady"
@@ -146,3 +149,28 @@ def simulate_scratchpad(
         capacity_misses=capacity_misses,
         writebacks=writebacks,
     )
+
+
+def simulate_scratchpad(
+    program: Program,
+    capacity: int,
+    array: str | None = None,
+    transformation: IntMatrix | None = None,
+    policy: str = "belady",
+) -> ScratchpadStats:
+    """Run the access stream through a managed on-chip buffer.
+
+    ``array`` restricts the simulation to one array (per-array buffers are
+    how the paper sizes windows); None simulates all arrays sharing the
+    buffer.  ``transformation`` replays the stream in the transformed
+    execution order.
+
+    ``policy="belady"`` evicts the resident element whose next use is
+    farthest in the future (never-used-again elements first) — optimal,
+    matching the window model's assumption of perfect management, so a
+    buffer of MWS elements suffers cold misses only.  ``policy="lru"``
+    models a hardware cache without future knowledge; the ablation bench
+    measures how much extra capacity LRU needs to reach the same traffic.
+    """
+    stream = access_stream(program, array, transformation)
+    return simulate_stream(stream, next_use_chain(stream), capacity, policy)

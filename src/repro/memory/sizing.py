@@ -17,6 +17,11 @@ from dataclasses import dataclass
 from repro.ir.program import Program
 from repro.linalg import IntMatrix
 from repro.memory.energy import MemoryCostModel
+from repro.memory.hierarchy import (
+    HierarchyStats,
+    MemoryHierarchy,
+    simulate_hierarchy,
+)
 from repro.memory.scratchpad import simulate_scratchpad
 from repro.window.simulator import max_total_window
 
@@ -87,4 +92,62 @@ def size_memory_for_program(
         naive_latency_ns=model.latency_ns(max(1, declared)),
         area_mm2=model.area_mm2(provisioned),
         naive_area_mm2=model.area_mm2(max(1, declared)),
+    )
+
+
+@dataclass(frozen=True)
+class HierarchySizingReport:
+    """Provisioning outcome of one program against one tier stack.
+
+    ``tiers_needed`` is the shallowest prefix of the stack whose summed
+    capacity covers the program's MWS — with perfect management those
+    tiers alone suffer cold misses only, so deeper tiers are dead weight
+    for this nest (``None`` when even the whole stack is too small and
+    capacity misses are unavoidable).
+    """
+
+    program: str
+    hierarchy: str
+    mws_words: int
+    tiers_needed: int | None
+    stats: HierarchyStats
+
+    @property
+    def offchip_transfers(self) -> int:
+        return self.stats.offchip_transfers
+
+    @property
+    def energy_pj(self) -> float:
+        return self.stats.energy_pj
+
+
+def size_memory_for_hierarchy(
+    program: Program,
+    hierarchy: MemoryHierarchy,
+    transformation: IntMatrix | None = None,
+    policy: str = "belady",
+    engine: str = "auto",
+) -> HierarchySizingReport:
+    """Measure MWS, simulate the stack, and report which tiers matter.
+
+    The hierarchy analogue of :func:`size_memory_for_program`: instead
+    of provisioning one buffer it answers "which prefix of this stack
+    does the nest actually need, and what traffic/energy does the full
+    stack deliver".
+    """
+    mws = max_total_window(program, transformation, engine=engine)
+    stats = simulate_hierarchy(
+        program, hierarchy, transformation=transformation, policy=policy
+    )
+    tiers_needed = None
+    for index, cumulative in enumerate(hierarchy.cumulative_capacities):
+        if cumulative >= max(1, mws):
+            tiers_needed = index + 1
+            break
+    return HierarchySizingReport(
+        program=program.name,
+        hierarchy=hierarchy.name,
+        mws_words=mws,
+        tiers_needed=tiers_needed,
+        stats=stats,
     )

@@ -4,6 +4,7 @@ from repro.reporting.tables import (
     Figure2Row,
     figure2_row,
     figure2_table,
+    render_hierarchy_table,
     render_table,
 )
 from repro.reporting.export import figure2_csv, figure2_markdown
@@ -49,6 +50,7 @@ __all__ = [
     "Figure2Row",
     "figure2_row",
     "figure2_table",
+    "render_hierarchy_table",
     "render_table",
     "figure2_markdown",
     "figure2_csv",

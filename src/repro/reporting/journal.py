@@ -20,6 +20,7 @@ RECONCILIATIONS: tuple[tuple[str, str, str], ...] = (
     ("bb prunes", "pruned", "search.bb.pruned"),
     ("bb evaluated", "bb_evaluated", "search.bb.evaluated"),
     ("cascade prunes", "cascade_pruned", "search.cascade.pruned"),
+    ("hierarchy prunes", "hierarchy_pruned", "search.hierarchy.pruned"),
 )
 
 

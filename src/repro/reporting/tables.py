@@ -85,3 +85,35 @@ def render_table(rows: Sequence[Figure2Row]) -> str:
             f"{paper_unopt:>6.1f}% {'':>8} {avg_opt:>7.1f}% {paper_opt:>6.1f}%"
         )
     return "\n".join(lines)
+
+
+def render_hierarchy_table(stats) -> str:
+    """Per-tier traffic/energy table for one hierarchy simulation.
+
+    One row per tier of a :class:`repro.memory.hierarchy.HierarchyStats`
+    — lookups, hits, hit rate, and the fetch/writeback traffic on the
+    boundary below — plus an off-chip footer row carrying the backing
+    bus traffic.  Deterministic output: the CI smoke job diffs two runs.
+    """
+    header = (
+        f"{'tier':<8} {'capacity':>9} {'lookups':>9} {'hits':>9} "
+        f"{'hit%':>6} {'fetches':>9} {'writebacks':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for tier in stats.tiers:
+        rate = 100.0 * tier.hits / tier.lookups if tier.lookups else 0.0
+        lines.append(
+            f"{tier.name:<8} {tier.capacity_words:>9} {tier.lookups:>9} "
+            f"{tier.hits:>9} {rate:>5.1f}% {tier.fetches_below:>9} "
+            f"{tier.writebacks_below:>11}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'offchip':<8} {'':>9} {'':>9} {'':>9} {'':>6} "
+        f"{stats.offchip_fetches:>9} {stats.offchip_writebacks:>11}"
+    )
+    lines.append(
+        f"energy {stats.energy_pj:.1f} pJ   latency {stats.latency_ns:.1f} ns"
+        f"   offchip transfers {stats.offchip_transfers}"
+    )
+    return "\n".join(lines)

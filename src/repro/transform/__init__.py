@@ -57,8 +57,17 @@ from repro.transform.window_allocation import (
 )
 from repro.transform.tiling import (
     is_fully_permutable,
+    TileFootprints,
     pick_tile_size,
     tile_footprint,
+    tile_footprints,
+)
+from repro.transform.hierarchy_search import (
+    HierarchyPlan,
+    HierarchySearchResult,
+    default_candidates,
+    search_hierarchy,
+    tile_candidates,
 )
 
 __all__ = [
@@ -98,6 +107,13 @@ __all__ = [
     "modulo_is_valid",
     "rewrite_with_buffer",
     "is_fully_permutable",
+    "TileFootprints",
     "pick_tile_size",
     "tile_footprint",
+    "tile_footprints",
+    "HierarchyPlan",
+    "HierarchySearchResult",
+    "default_candidates",
+    "search_hierarchy",
+    "tile_candidates",
 ]

@@ -29,7 +29,7 @@ class CandidateRecord:
     for prunes, or ``None`` for the native order.
     """
 
-    stage: str  # "seed" | "enumerate" | "evaluate" | "prune" | "cascade" | "lower_bound"
+    stage: str  # "seed" | "enumerate" | "evaluate" | "prune" | "cascade" | "lower_bound" | "hierarchy"
     candidate: Any
     status: str  # "candidate" | "rejected" | "cache_hit" | "computed" | "pruned"
     reason: str | None = None
@@ -122,6 +122,14 @@ class SearchJournal:
             "pruned": len(self.by_stage("prune")),
             "cascade_pruned": len(self.by_stage("cascade")),
             "bb_evaluated": len(self.by_stage("bb")),
+            "hierarchy": len(self.by_stage("hierarchy")),
+            "hierarchy_pruned": len(
+                [
+                    r
+                    for r in self.by_stage("hierarchy")
+                    if r.status == "pruned"
+                ]
+            ),
         }
 
     def __iter__(self) -> Iterator[CandidateRecord]:

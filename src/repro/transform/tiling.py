@@ -10,6 +10,7 @@ off-chip traffic.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.ir.program import Program
@@ -32,34 +33,138 @@ def is_fully_permutable(
     return is_tileable(t, distances)
 
 
+@dataclass(frozen=True)
+class TileFootprints:
+    """Exact per-tile data volumes of one rectangular tiling.
+
+    ``per_array`` / ``written_per_array`` are worst-case (max over tile
+    cells) distinct counts — the per-tier feasibility numbers for the
+    hierarchy search; ``total`` is the worst single tile over all arrays
+    together; ``fetch_words`` / ``writeback_words`` sum every cell, i.e.
+    the whole-execution DMA volume when each tile's footprint streams in
+    (and dirty elements stream out) once, with no inter-tile reuse.
+    """
+
+    tile: tuple[int, ...]
+    n_cells: int
+    total: int
+    per_array: dict[str, int]
+    written_per_array: dict[str, int]
+    fetch_words: dict[str, int]
+    writeback_words: dict[str, int]
+
+
+#: ``(program signature, transformation rows)`` -> per-point data shared
+#: by every tile size: the transformed points (cell binning input) and
+#: each reference's touched element per point.  The hierarchy search
+#: measures many tile candidates of the same (program, transformation),
+#: and recomputing ``ref.element`` per tile dominates its runtime.
+#: Bounded, dropped wholesale past the cap (the entries are large).
+_POINT_CACHE: dict[tuple, tuple] = {}
+_POINT_CACHE_LIMIT = 8
+
+
+def clear_tile_cache() -> None:
+    """Drop memoized per-point tile data (tests, benchmarks)."""
+    _POINT_CACHE.clear()
+
+
+def _point_data(program: Program, transformation: IntMatrix | None):
+    """``(transformed points, origin, [(array, is_write, elements)])``."""
+    t_key = None if transformation is None else transformation.rows
+    key = (program.signature(), t_key)
+    cached = _POINT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    points = list(program.nest.iterate())
+    if transformation is not None:
+        transformed = [transformation.apply(p) for p in points]
+    else:
+        transformed = points
+    origin = min(transformed)
+    per_ref = [
+        (ref.array, ref.is_write, [ref.element(p) for p in points])
+        for ref in program.references
+    ]
+    if len(_POINT_CACHE) >= _POINT_CACHE_LIMIT:
+        _POINT_CACHE.clear()
+    _POINT_CACHE[key] = (transformed, origin, per_ref)
+    return transformed, origin, per_ref
+
+
+def tile_footprints(
+    program: Program,
+    tile_sizes: Sequence[int],
+    transformation: IntMatrix | None = None,
+) -> TileFootprints:
+    """Measure every tile cell of the (transformed) iteration space.
+
+    The grid is anchored at the lexicographic-min corner of the
+    transformed space.  Skewing transforms make the space non-rectangular,
+    so boundary cells are *partial* tiles: the worst-case footprint is the
+    max over all cells (an interior full tile), not the corner cell.
+    """
+    n = program.nest.depth
+    tile = tuple(tile_sizes)
+    if len(tile) != n:
+        raise ValueError("tile rank != nest depth")
+    if any(s <= 0 for s in tile):
+        raise ValueError("tile extents must be positive")
+    transformed, origin, per_ref = _point_data(program, transformation)
+    cells = [
+        tuple((x - o) // s for x, o, s in zip(point, origin, tile))
+        for point in transformed
+    ]
+    touched: dict[tuple, dict[str, set]] = {}
+    written: dict[tuple, dict[str, set]] = {}
+    for array, is_write, elements in per_ref:
+        for cell, element in zip(cells, elements):
+            cell_touched = touched.setdefault(cell, {})
+            cell_touched.setdefault(array, set()).add(element)
+            if is_write:
+                written.setdefault(cell, {}).setdefault(array, set()).add(
+                    element
+                )
+    for cell in touched:
+        written.setdefault(cell, {})
+    per_array = {a: 0 for a in program.arrays}
+    written_per_array = {a: 0 for a in program.arrays}
+    fetch = {a: 0 for a in program.arrays}
+    writeback = {a: 0 for a in program.arrays}
+    total = 0
+    for cell, by_array in touched.items():
+        total = max(total, sum(len(v) for v in by_array.values()))
+        for array, elements in by_array.items():
+            per_array[array] = max(per_array[array], len(elements))
+            fetch[array] += len(elements)
+        for array, elements in written[cell].items():
+            written_per_array[array] = max(written_per_array[array], len(elements))
+            writeback[array] += len(elements)
+    return TileFootprints(
+        tile=tile,
+        n_cells=len(touched),
+        total=total,
+        per_array=per_array,
+        written_per_array=written_per_array,
+        fetch_words=fetch,
+        writeback_words=writeback,
+    )
+
+
 def tile_footprint(
     program: Program,
     tile_sizes: Sequence[int],
     transformation: IntMatrix | None = None,
 ) -> int:
-    """Exact distinct elements touched by the first full tile.
+    """Exact distinct elements touched by the worst single tile.
 
-    Measures the tile at the lower-left corner of the (transformed)
-    iteration space by enumeration; with uniformly generated references
-    every full tile touches the same count, so one tile suffices.
+    Measured as the max over every tile cell of the (transformed)
+    iteration space.  With uniformly generated references all *full*
+    tiles touch the same count, but a skewing transform leaves partial
+    tiles at the boundary — including the lexicographic-min corner — so
+    the corner tile alone under-reports the buffer a tile needs.
     """
-    n = program.nest.depth
-    if len(tile_sizes) != n:
-        raise ValueError("tile rank != nest depth")
-    points = list(program.nest.iterate())
-    if transformation is not None:
-        points = [transformation.apply(p) for p in points]
-        inverse = transformation.inverse_unimodular()
-    else:
-        inverse = None
-    origin = min(points)
-    touched: set[tuple] = set()
-    for point in points:
-        if all(o <= x < o + s for x, o, s in zip(point, origin, tile_sizes)):
-            original = inverse.apply(point) if inverse is not None else point
-            for ref in program.references:
-                touched.add((ref.array, ref.element(original)))
-    return len(touched)
+    return tile_footprints(program, tile_sizes, transformation).total
 
 
 def pick_tile_size(

@@ -106,6 +106,8 @@ class _LifetimeStore:
             self._consolidate()
 
     def _consolidate(self) -> None:
+        if not self._pending:  # nothing new (or nothing at all)
+            return
         ids_parts = [p[0] for p in self._pending]
         first_parts = [p[1] for p in self._pending]
         last_parts = [p[2] for p in self._pending]

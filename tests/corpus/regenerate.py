@@ -174,6 +174,52 @@ SEEDS = [
         note="conformance pin for the parametric distinct-access derivation",
     ),
     dict(
+        oracle="hierarchy-degenerate-flat",
+        seed=3,
+        source=(
+            "for i1 = 1 to 4 { for i2 = 1 to 4 { "
+            "A0[i1 + i2] = A0[i1 + i2 + 1] } }"
+        ),
+        detail=(
+            "Degenerate-hierarchy pin: a one-tier stack is definitionally "
+            "the flat scratchpad, so its only boundary level must equal "
+            "simulate_scratchpad field for field (both policies, native "
+            "and seed-transformed order) and its energy must decompose as "
+            "hits*E_tier + transfers*E_back."
+        ),
+        note="conformance pin for the stacked hierarchy simulation",
+    ),
+    dict(
+        oracle="hierarchy-capacity-monotone",
+        seed=7,
+        source=(
+            "for i1 = 1 to 5 { for i2 = 1 to 5 { "
+            "A0[i1][i2] = A0[i1 - 1][i2 + 1] + A0[i1][i2 - 2] } }"
+        ),
+        detail=(
+            "Stack-property pin: growing any tier of the seed-derived "
+            "stack (costs fixed) may not increase any boundary's "
+            "transfers nor the total energy/latency — Belady's inclusion "
+            "property lifted through the cumulative-capacity simulation."
+        ),
+        note="conformance pin for hierarchy capacity monotonicity",
+    ),
+    dict(
+        oracle="hierarchy-bound-admissible",
+        seed=11,
+        source=(
+            "for i1 = 1 to 6 { for i2 = 1 to 6 { "
+            "A0[2*i1 + i2] = A0[2*i1 + i2 + 3] } }"
+        ),
+        detail=(
+            "Admissibility pin: the phase/cold-traffic lower bound may "
+            "never exceed simulated transfers — whole program or one "
+            "array, Belady or LRU, native or transformed order, flat "
+            "buffer or a tier stack at its total capacity."
+        ),
+        note="conformance pin for the transfer lower bound",
+    ),
+    dict(
         oracle="engines-agree-2d",
         seed=0,
         source=(

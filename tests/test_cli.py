@@ -162,3 +162,53 @@ class TestCliObservability:
     def test_figure2_accepts_workers(self, capsys):
         assert main(["--workers", "2", "figure2", "--kernel", "matmult"]) == 0
         assert "matmult" in capsys.readouterr().out
+
+
+class TestCliHierarchy:
+    def test_hierarchy_kernel_target(self, capsys):
+        assert main(["hierarchy", "sor", "--preset", "tcm"]) == 0
+        out = capsys.readouterr().out
+        assert "through hierarchy 'tcm'" in out
+        assert "tier" in out and "offchip" in out
+        assert "joint (transformation, tile, placement) search:" in out
+        assert "saving" in out
+
+    def test_hierarchy_file_target(self, loop_file, capsys):
+        assert main(["hierarchy", loop_file, "--preset", "cache"]) == 0
+        out = capsys.readouterr().out
+        assert "through hierarchy 'cache'" in out
+        assert "l1" in out and "sram" in out
+
+    def test_hierarchy_no_search(self, loop_file, capsys):
+        assert main(["hierarchy", loop_file, "--no-search"]) == 0
+        out = capsys.readouterr().out
+        assert "joint" not in out
+        assert "energy" in out
+
+    def test_hierarchy_native_restricts_candidates(self, loop_file, capsys):
+        assert main(["hierarchy", loop_file, "--native"]) == 0
+        out = capsys.readouterr().out
+        assert "T=native" in out
+
+    def test_hierarchy_lru_policy(self, loop_file, capsys):
+        assert main(["hierarchy", loop_file, "--policy", "lru",
+                     "--no-search"]) == 0
+        assert "offchip transfers" in capsys.readouterr().out
+
+    def test_hierarchy_output_deterministic(self, loop_file, capsys):
+        assert main(["hierarchy", loop_file, "--preset", "tcm"]) == 0
+        first = capsys.readouterr().out
+        assert main(["hierarchy", loop_file, "--preset", "tcm"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_hierarchy_unknown_preset(self, loop_file, capsys):
+        assert main(["hierarchy", loop_file, "--preset", "dram"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown hierarchy preset" in err
+        assert "tcm, cache, flat" in err
+
+    def test_optimize_with_hierarchy_flag(self, loop_file, capsys):
+        assert main(["optimize", loop_file, "--hierarchy", "tcm"]) == 0
+        out = capsys.readouterr().out
+        assert "hierarchy plan (tcm):" in out
+        assert "joint :" in out and "flat  :" in out

@@ -1,0 +1,254 @@
+"""Multi-level memory hierarchy model (``memory/hierarchy.py``).
+
+Pins the model's two defining laws directly (the fuzzed versions live in
+``check/oracles.py`` as ``hierarchy-degenerate-flat`` and
+``hierarchy-capacity-monotone``):
+
+* a one-tier stack IS the flat scratchpad — verified field for field
+  over the entire checked-in regression corpus, both policies;
+* tier accounting is the difference of adjacent cumulative-capacity
+  boundaries, so it must reconcile against independent flat simulations
+  (the "brute force" in these tests re-derives every tier's numbers from
+  scratch with :func:`simulate_scratchpad` alone).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.check import load_repro
+from repro.ir import parse_program
+from repro.ir.generate import GeneratorConfig, random_program
+from repro.linalg import IntMatrix
+from repro.memory import (
+    PRESETS,
+    MemoryHierarchy,
+    MemoryTier,
+    preset,
+    simulate_hierarchy,
+    simulate_scratchpad,
+    size_memory_for_hierarchy,
+)
+from repro.memory.hierarchy import WORDS_PER_KB
+
+from tests.conftest import fuzz_seeds
+
+CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.json"))
+
+STENCIL = parse_program(
+    "for i = 1 to 8 { for j = 1 to 8 { "
+    "B[i][j] = A[i][j] + A[i][j + 1] + A[i - 1][j] } }",
+    name="stencil",
+)
+
+SKEW = IntMatrix([[1, 1], [0, 1]])
+
+
+def _stack(*caps: int) -> MemoryHierarchy:
+    """A test stack with the given capacities and valid cost ordering."""
+    tiers = tuple(
+        MemoryTier(f"t{k}", cap, 1.0 + k, 5.0 + 5.0 * k)
+        for k, cap in enumerate(caps)
+    )
+    return MemoryHierarchy(name="test", tiers=tiers)
+
+
+class TestConstruction:
+    def test_tier_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            MemoryTier("bad", 0, 1.0, 5.0)
+        with pytest.raises(ValueError, match="costs"):
+            MemoryTier("bad", 4, 0.0, 5.0)
+        with pytest.raises(ValueError, match="costs"):
+            MemoryTier("bad", 4, 1.0, -1.0)
+
+    def test_hierarchy_needs_tiers(self):
+        with pytest.raises(ValueError, match="at least one tier"):
+            MemoryHierarchy("empty", ())
+
+    def test_cost_ordering_enforced(self):
+        fast = MemoryTier("fast", 4, 2.0, 10.0)
+        with pytest.raises(ValueError, match="cheaper"):
+            MemoryHierarchy("bad", (fast, MemoryTier("below", 8, 3.0, 9.0)))
+        with pytest.raises(ValueError, match="faster"):
+            MemoryHierarchy("bad", (fast, MemoryTier("below", 8, 1.0, 11.0)))
+        with pytest.raises(ValueError, match="off-chip energy"):
+            MemoryHierarchy("bad", (fast,), offchip_energy_pj=9.0)
+        with pytest.raises(ValueError, match="off-chip latency"):
+            MemoryHierarchy("bad", (fast,), offchip_latency_ns=1.0)
+
+    def test_capacity_views(self):
+        stack = _stack(4, 8, 16)
+        assert stack.depth == 3
+        assert stack.capacities == (4, 8, 16)
+        assert stack.cumulative_capacities == (4, 12, 28)
+        assert stack.total_capacity == 28
+
+    def test_resized_touches_one_capacity_only(self):
+        stack = _stack(4, 8)
+        grown = stack.resized(1, 64)
+        assert grown.capacities == (4, 64)
+        assert grown.tiers[1].energy_pj == stack.tiers[1].energy_pj
+        assert grown.tiers[1].latency_ns == stack.tiers[1].latency_ns
+        assert stack.capacities == (4, 8)  # original untouched
+
+    def test_spec_is_canonical_json(self):
+        stack = _stack(4, 8)
+        spec = stack.spec()
+        assert json.loads(json.dumps(spec)) == spec
+        assert spec["tiers"] == [["t0", 4, 1.0, 5.0], ["t1", 8, 2.0, 10.0]]
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert set(PRESETS) == {"tcm", "cache", "flat"}
+        for name, stack in PRESETS.items():
+            assert preset(name) is stack
+            assert stack.name == name
+
+    def test_tcm_geometry(self):
+        tcm = preset("tcm")
+        assert tcm.capacities == (16 * WORDS_PER_KB, 128 * WORDS_PER_KB)
+        assert [t.name for t in tcm.tiers] == ["l1", "tcm"]
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="available"):
+            preset("dram")
+
+
+class TestDegenerateEquivalence:
+    """One tier of capacity c IS the flat scratchpad at c."""
+
+    @pytest.mark.parametrize("capacity", [1, 2, 5, 64])
+    @pytest.mark.parametrize("policy", ["belady", "lru"])
+    def test_stencil(self, capacity, policy):
+        stack = _stack(capacity)
+        for t in (None, SKEW):
+            stacked = simulate_hierarchy(
+                STENCIL, stack, transformation=t, policy=policy
+            )
+            flat = simulate_scratchpad(
+                STENCIL, capacity, transformation=t, policy=policy
+            )
+            assert stacked.levels == (flat,)
+            assert stacked.tiers[0].hits == flat.hits
+            assert stacked.tiers[0].lookups == flat.accesses
+            assert stacked.tiers[0].fetches_below == flat.misses
+            assert stacked.tiers[0].writebacks_below == flat.writebacks
+            assert stacked.offchip_transfers == flat.offchip_transfers
+
+    @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+    @pytest.mark.parametrize("policy", ["belady", "lru"])
+    def test_full_regression_corpus(self, path, policy):
+        """Acceptance pin: 1-tier == flat on every corpus program."""
+        program = load_repro(path).program
+        for capacity in (1, 3, 16):
+            stack = _stack(capacity)
+            stacked = simulate_hierarchy(program, stack, policy=policy)
+            flat = simulate_scratchpad(program, capacity, policy=policy)
+            assert stacked.levels == (flat,), path.name
+            expected = (
+                flat.hits * stack.tiers[0].energy_pj
+                + flat.offchip_transfers * stack.offchip_energy_pj
+            )
+            assert stacked.energy_pj == pytest.approx(expected)
+
+
+class TestTierAccounting:
+    """Brute-force reconciliation: every tier's numbers re-derived from
+    independent flat simulations at the cumulative capacities."""
+
+    def _check(self, program, stack, policy="belady"):
+        stats = simulate_hierarchy(program, stack, policy=policy)
+        flats = [
+            simulate_scratchpad(program, capacity, policy=policy)
+            for capacity in stack.cumulative_capacities
+        ]
+        assert stats.levels == tuple(flats)
+        prev_misses = stats.accesses
+        energy = latency = 0.0
+        for tier, tier_stats, flat in zip(stack.tiers, stats.tiers, flats):
+            assert tier_stats.lookups == prev_misses
+            assert tier_stats.hits == prev_misses - flat.misses
+            assert tier_stats.fetches_below == flat.misses
+            assert tier_stats.writebacks_below == flat.writebacks
+            assert tier_stats.transfers_below == flat.offchip_transfers
+            energy += tier_stats.hits * tier.energy_pj
+            latency += tier_stats.hits * tier.latency_ns
+            prev_misses = flat.misses
+        for below, flat in zip(stack.tiers[1:], flats[:-1]):
+            energy += flat.writebacks * below.energy_pj
+            latency += flat.writebacks * below.latency_ns
+        energy += flats[-1].offchip_transfers * stack.offchip_energy_pj
+        latency += flats[-1].offchip_transfers * stack.offchip_latency_ns
+        assert stats.energy_pj == pytest.approx(energy)
+        assert stats.latency_ns == pytest.approx(latency)
+        assert sum(stats.hits_per_tier) + stats.offchip_fetches == (
+            stats.accesses
+        )
+
+    def test_stencil_three_tiers(self):
+        self._check(STENCIL, _stack(2, 6, 24))
+
+    def test_stencil_lru(self):
+        self._check(STENCIL, _stack(3, 9), policy="lru")
+
+    @pytest.mark.parametrize("seed", fuzz_seeds(12, salt=41))
+    def test_randomized_programs_and_stacks(self, seed):
+        config = GeneratorConfig(depth=2, min_trip=2, max_trip=6)
+        program = random_program(seed, config)
+        rng = random.Random(seed * 613 + 1)
+        depth = rng.randint(1, 3)
+        caps = [rng.randint(1, 32) for _ in range(depth)]
+        self._check(program, _stack(*caps))
+
+
+class TestMonotonicity:
+    def test_growing_any_tier_never_hurts(self):
+        stack = _stack(2, 6)
+        base = simulate_hierarchy(STENCIL, stack)
+        for index in range(stack.depth):
+            for delta in (1, 7, 100):
+                grown = stack.resized(
+                    index, stack.capacities[index] + delta
+                )
+                more = simulate_hierarchy(STENCIL, grown)
+                assert more.offchip_transfers <= base.offchip_transfers
+                assert more.energy_pj <= base.energy_pj + 1e-9
+                assert more.latency_ns <= base.latency_ns + 1e-9
+                for before, after in zip(base.levels, more.levels):
+                    assert (
+                        after.offchip_transfers <= before.offchip_transfers
+                    )
+
+
+class TestHierarchySizing:
+    def test_tiers_needed_prefix(self):
+        report = size_memory_for_hierarchy(STENCIL, _stack(2, 8, 64))
+        # MWS must fit in some prefix of a 74-word stack for this nest.
+        assert report.tiers_needed is not None
+        prefix = report.stats.levels[report.tiers_needed - 1]
+        # By MWS definition the covering prefix suffers no capacity
+        # misses: off-chip traffic is cold misses plus final writebacks.
+        assert prefix.misses == prefix.cold_misses
+        if report.tiers_needed > 1:
+            cumulative = _stack(2, 8, 64).cumulative_capacities
+            assert cumulative[report.tiers_needed - 2] < report.mws_words
+
+    def test_stack_too_small(self):
+        report = size_memory_for_hierarchy(STENCIL, _stack(1, 2))
+        assert report.tiers_needed is None
+        assert report.mws_words > 3
+
+    def test_report_properties_mirror_stats(self):
+        stack = preset("flat")
+        report = size_memory_for_hierarchy(STENCIL, stack)
+        stats = simulate_hierarchy(STENCIL, stack)
+        assert report.offchip_transfers == stats.offchip_transfers
+        assert report.energy_pj == pytest.approx(stats.energy_pj)
+        assert report.program == "stencil"
+        assert report.hierarchy == "flat"

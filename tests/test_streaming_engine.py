@@ -166,3 +166,99 @@ class TestObservability:
         counters = observer.counters
         assert counters["streaming.simulate.calls"] == 1
         assert counters["streaming.chunks"] == 3  # ceil(250 / 100)
+
+
+class TestChunkLoopInternals:
+    """Direct tests of the chunk loop and its per-chunk store folding.
+
+    A 2x2 nest over ``A[i + j]`` has four iterations touching elements
+    2, 3, 3, 4 at linear times 0..3 — small enough to hand-compute the
+    exact per-element ``(first, last)`` keys any chunking must reduce
+    to.  Element keys are box-packed against the touched bounding box
+    ``[2, 4]``, so ids are ``value - 2``.
+    """
+
+    PROGRAM_SRC = (
+        "for i = 1 to 2 { for j = 1 to 2 { A[i + j] = A[i + j] } }"
+    )
+
+    def _stores(self, chunk):
+        from repro.window.streaming import _stream_lifetimes
+
+        program = parse_program(self.PROGRAM_SRC)
+        return _stream_lifetimes(program, ("A",), None, chunk)
+
+    @pytest.mark.parametrize("chunk", [1, 2, 3, 4, 16])
+    def test_store_contents_invariant_under_chunking(self, chunk):
+        """chunk=1, a non-divisor, an exact divisor and chunk >= total
+        must all fold to the same per-element lifetime keys."""
+        import numpy as np
+
+        store = self._stores(chunk)["A"]
+        store._consolidate()
+        assert store._ids.tolist() == [0, 1, 2]  # elements 2, 3, 4
+        assert store._first.tolist() == [0, 1, 3]
+        assert store._last.tolist() == [0, 2, 3]
+        first, last = store.live_lifetimes()
+        # Only element 3 (id 1) is touched at two distinct times.
+        assert first.tolist() == [1]
+        assert last.tolist() == [2]
+        assert isinstance(first, np.ndarray)
+
+    @pytest.mark.parametrize(
+        "chunk,expected",
+        [(1, 4), (3, 2), (2, 2), (4, 1), (16, 1)],
+        ids=["unit", "non-divisor", "divisor", "exact-total", "oversized"],
+    )
+    def test_chunk_count_is_ceil_of_total(self, chunk, expected):
+        from repro import obs
+
+        observer = obs.enable()
+        try:
+            self._stores(chunk)
+        finally:
+            obs.disable()
+        assert observer.counters["streaming.chunks"] == expected
+
+    def test_decode_block_matches_native_iteration_order(self):
+        from repro.window.streaming import _decode_block
+
+        program = parse_program(
+            "for i = 1 to 3 { for j = 2 to 4 { A[i][j] = 0 } }"
+        )
+        nest = program.nest
+        expected = [tuple(p) for p in nest.iterate()]
+        got = _decode_block(0, 9, nest.lowers, nest.trip_counts)
+        assert [tuple(row) for row in got.tolist()] == expected
+        # A mid-stream block is the matching slice of the full order.
+        middle = _decode_block(4, 7, nest.lowers, nest.trip_counts)
+        assert [tuple(row) for row in middle.tolist()] == expected[4:7]
+
+    def test_lifetime_store_merges_across_blocks(self):
+        import numpy as np
+
+        from repro.window.streaming import _LifetimeStore
+
+        store = _LifetimeStore(chunk=2)
+        ids = lambda *v: np.array(v, dtype=np.int64)
+        store.add(ids(5), ids(10), ids(10))
+        store.add(ids(5, 9), ids(2, 4), ids(2, 4))
+        store.add(ids(), ids(), ids())  # empty block is a no-op
+        first, last = store.live_lifetimes()
+        # Element 5 spans blocks: first=min(10, 2), last=max(10, 2).
+        assert first.tolist() == [2]
+        assert last.tolist() == [10]
+
+    def test_empty_store_yields_empty_lifetimes(self):
+        from repro.window.streaming import _LifetimeStore
+
+        store = _LifetimeStore(chunk=4)
+        first, last = store.live_lifetimes()
+        assert first.size == 0 and last.size == 0
+
+    @pytest.mark.parametrize("chunk", [1, 3, 5, 250])
+    def test_env_chunk_edges_keep_answers_exact(self, monkeypatch, chunk):
+        monkeypatch.setenv(CHUNK_ENV, str(chunk))
+        program = parse_program(EXAMPLE_8)  # 250 iterations
+        assert max_window_size_streaming(program, "X") == 44
+        assert max_total_window_streaming(program) == 44

@@ -320,3 +320,17 @@ class TestTiling:
             "for i = 1 to 8 { for j = 1 to 8 { A[i][j] = A[i-1][j] } }"
         )
         assert pick_tile_size(prog, capacity=1) == (1, 1)
+
+    def test_footprint_under_skew_counts_partial_corner_tiles(self):
+        """Regression: the worst tile under a skew is a *partial* corner
+        tile whose footprint the old implementation read off the first
+        full tile instead.  For sor under T=[[1,0],[1,1]] the 3x3 tile
+        grid has a corner cell touching 21 distinct words, not the 16 a
+        full interior tile touches — the footprint must report the true
+        per-tile maximum or the capacity feasibility check under-books
+        the buffer."""
+        from repro.kernels import sor
+
+        skew = IntMatrix([[1, 0], [1, 1]])
+        program = sor(32)
+        assert tile_footprint(program, (3, 3), skew) == 21
