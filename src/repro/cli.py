@@ -631,6 +631,57 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import AnalysisService
+    from repro.server import ReproServer
+
+    # A long-lived service wants a real pool: --workers 0 (the global
+    # default) resolves to the automatic worker count here, because
+    # per-request timeouts need preemptable workers.
+    service = AnalysisService(
+        store=args.store_obj,
+        engine=args.engine,
+        workers=args.workers or None,
+        timeout=args.timeout,
+    )
+    from repro.server.app import DEFAULT_QUOTA_RATE
+
+    if args.no_quota:
+        quota_rate = None
+    elif args.quota_rate is None:
+        quota_rate = DEFAULT_QUOTA_RATE
+    else:
+        quota_rate = args.quota_rate
+    server = ReproServer(
+        service,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        quota_rate=quota_rate,
+        quota_burst=args.quota_burst,
+        compact_interval=args.compact_interval,
+    )
+    try:
+        return server.run()
+    finally:
+        service.close()
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    from repro.store.maintenance import compact_store, render_compaction
+
+    store = args.store_obj
+    if store is None:
+        print(
+            "error: no store (pass --store DIR or set REPRO_STORE_DIR)",
+            file=sys.stderr,
+        )
+        return 1
+    report = compact_store(store, tmp_ttl_s=args.tmp_ttl)
+    print(render_compaction(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -936,6 +987,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-item timeout in seconds (needs --workers >= 1)",
     )
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="always-on HTTP/JSON analysis service over the worker pool "
+             "(admission control, per-tenant quotas; see docs/service.md)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port; 0 picks an ephemeral port (default 8787)",
+    )
+    p.add_argument(
+        "--timeout", type=float, metavar="S",
+        help="default per-request timeout in seconds (a hung request is "
+             "answered 504 and its worker slot is reclaimed)",
+    )
+    p.add_argument(
+        "--queue-limit", type=int, metavar="N",
+        help="admitted requests beyond the worker count before 429s "
+             "(default: 2x workers)",
+    )
+    p.add_argument(
+        "--quota-rate", type=float, default=None, metavar="R",
+        help="per-tenant token-bucket refill rate in requests/second "
+             "(default 50; X-Repro-Tenant header keys the bucket)",
+    )
+    p.add_argument(
+        "--quota-burst", type=float, metavar="B",
+        help="per-tenant burst ceiling (default: 2x the rate)",
+    )
+    p.add_argument(
+        "--no-quota", action="store_true",
+        help="disable per-tenant quotas entirely",
+    )
+    p.add_argument(
+        "--compact-interval", type=float, metavar="S",
+        help="run the store compaction sweep every S seconds in the "
+             "background (default: off)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "store-compact",
+        help="sweep the result store: delete corrupt records, rewrite "
+             "legacy ledger counters, remove stale temp files",
+    )
+    p.add_argument(
+        "--tmp-ttl", type=float, default=3600.0, metavar="S",
+        help="age in seconds before an orphaned temp file is removed "
+             "(default 3600)",
+    )
+    p.set_defaults(func=_cmd_store_compact)
 
     return parser
 

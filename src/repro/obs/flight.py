@@ -138,6 +138,11 @@ class HeartbeatThread:
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):
+            if live_path() is None:
+                # The run context is gone (run sealed / ended): stop
+                # rather than beat on for a dead run.  A restarted run
+                # gets its own HeartbeatThread.
+                return
             counters = self._snapshot()
             elapsed = time.perf_counter() - self._started
             heartbeat(
@@ -149,17 +154,25 @@ class HeartbeatThread:
                 rate=_rate(counters, elapsed),
             )
 
-    def __enter__(self) -> "HeartbeatThread":
-        if live_path() is not None:
+    def start(self) -> "HeartbeatThread":
+        """Begin beating (no-op outside a recording run context)."""
+        if self._thread is None and live_path() is not None:
             self._thread = threading.Thread(target=self._run, daemon=True)
             self._thread.start()
         return self
 
-    def __exit__(self, *exc: object) -> None:
+    def stop(self) -> None:
+        """Stop beating; idempotent, safe after exceptions."""
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=self.interval + 1.0)
-            self._thread = None
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=self.interval + 1.0)
+
+    def __enter__(self) -> "HeartbeatThread":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
 
 
 #: Counters whose per-second rate is the most useful liveness signal.

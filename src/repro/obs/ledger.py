@@ -79,6 +79,55 @@ _SECTION_PREFIXES = {
     "batch": "batch.",
 }
 
+#: Retired counter spellings -> their canonical names.  PR 7 briefly
+#: double-emitted ``batch.items.timeout`` alongside the canonical
+#: ``batch.item.timeout``; only the canonical name is emitted now, and
+#: old ledger records are normalized on read (and rewritten on disk by
+#: ``repro store-compact``) so cross-boundary ``runs diff`` never
+#: reports a phantom delta on the dead spelling.
+LEGACY_COUNTERS = {
+    "batch.items.timeout": "batch.item.timeout",
+}
+
+
+def canonical_counters(counters: Mapping[str, Any]) -> dict[str, int]:
+    """Counters with retired spellings folded into canonical names.
+
+    Legacy records bumped *both* spellings for the same event, so a
+    collision collapses with ``max`` — summing would double-count every
+    timeout recorded across the rename boundary.
+    """
+    out: dict[str, int] = {}
+    for name, value in counters.items():
+        name = LEGACY_COUNTERS.get(name, name)
+        value = int(value)
+        out[name] = max(out[name], value) if name in out else value
+    return dict(sorted(out.items()))
+
+
+def rewrite_legacy_record(record: Mapping[str, Any]) -> dict[str, Any] | None:
+    """Canonicalized copy of a ledger record, or ``None`` if already clean.
+
+    Used by the store compaction job to rewrite pre-rename records in
+    place: the counter map is canonicalized and every derived counter
+    section is rebuilt from it.  Identity fields (run ID, digest,
+    timings) are untouched, so the record's store key is unchanged.
+    """
+    counters = record.get("counters")
+    if not isinstance(counters, Mapping) or not any(
+        name in LEGACY_COUNTERS for name in counters
+    ):
+        return None
+    out = dict(record)
+    out["counters"] = canonical_counters(counters)
+    for section, prefix in _SECTION_PREFIXES.items():
+        values = _prefixed(out["counters"], prefix)
+        if values:
+            out[section] = values
+        else:
+            out.pop(section, None)
+    return out
+
 
 def _prefixed(counters: Mapping[str, int], prefix: str) -> dict[str, int]:
     return {
@@ -110,10 +159,9 @@ def build_record(
     from repro.reporting.metrics import cache_stats
 
     summary = summary or {}
-    counters = {
-        name: int(value)
-        for name, value in summary.get("counters", {}).items()
-    }
+    # Normalize at the source: a new record never carries a retired
+    # counter spelling, even if stale code still emits one.
+    counters = canonical_counters(summary.get("counters", {}))
     record: dict[str, Any] = {
         "schema": LEDGER_SCHEMA,
         "run": ctx.run_id,

@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from repro.obs.ledger import overall_hit_rate
+from repro.obs.ledger import canonical_counters, overall_hit_rate
 
 
 def _age(started_unix: float, now: float | None = None) -> str:
@@ -136,6 +136,7 @@ class RunDiff:
     hit_rate_a: float = 0.0
     hit_rate_b: float = 0.0
     input_delta: dict[str, tuple[Any, Any]] = field(default_factory=dict)
+    batch_delta: dict[str, tuple[int, int]] = field(default_factory=dict)
     digest_match: bool | None = None
 
     @property
@@ -202,6 +203,22 @@ def _diff_maps(a: Mapping[str, Any], b: Mapping[str, Any]) -> dict:
     return out
 
 
+def _batch_counters(record: Mapping[str, Any]) -> dict[str, int]:
+    """A record's ``batch.*`` counters, legacy spellings canonicalized.
+
+    Records sealed before the ``batch.items.timeout`` retirement carry
+    both spellings; canonicalizing both sides of a diff here keeps
+    ``repro runs diff`` from reporting a phantom counter delta across
+    the rename boundary.
+    """
+    counters = canonical_counters(record.get("counters", {}))
+    return {
+        name[len("batch."):]: value
+        for name, value in counters.items()
+        if name.startswith("batch.")
+    }
+
+
 def diff_runs(a: Mapping[str, Any], b: Mapping[str, Any]) -> RunDiff:
     """Structured diff of two ledger records (``a`` = older baseline)."""
     git_a, git_b = a.get("git"), b.get("git")
@@ -226,6 +243,7 @@ def diff_runs(a: Mapping[str, Any], b: Mapping[str, Any]) -> RunDiff:
         hit_rate_a=overall_hit_rate(a),
         hit_rate_b=overall_hit_rate(b),
         input_delta=_diff_maps(a.get("inputs", {}), b.get("inputs", {})),
+        batch_delta=_diff_maps(_batch_counters(a), _batch_counters(b)),
         digest_match=(
             None if digest_a is None or digest_b is None
             else digest_a == digest_b
@@ -267,6 +285,10 @@ def render_run_diff(diff: RunDiff) -> str:
             lines.append(f"  {key}: {va} -> {vb}")
     else:
         lines.append("inputs     : unchanged")
+    if diff.batch_delta:
+        lines.append("batch      :")
+        for key, (va, vb) in sorted(diff.batch_delta.items()):
+            lines.append(f"  {key}: {va or 0} -> {vb or 0}")
     if diff.digest_match is not None:
         lines.append(
             "result     : "

@@ -1,0 +1,23 @@
+"""Asyncio HTTP/JSON front end for the analysis service.
+
+Stdlib only (``asyncio`` + a hand-rolled HTTP/1.1 handler loop): a thin
+shell over :class:`repro.api.AnalysisService` adding what a network
+boundary needs — request admission control, per-tenant token-bucket
+quotas, per-request timeouts on the reclaimable worker pool, and the
+observability read side (``/healthz``, ``/metrics``, ``/runs``).
+See ``docs/service.md``.
+"""
+
+from repro.server.app import ReproServer
+from repro.server.http import BadRequest, HTTPRequest, read_request, render_response
+from repro.server.quota import TenantQuotas, TokenBucket
+
+__all__ = [
+    "BadRequest",
+    "HTTPRequest",
+    "ReproServer",
+    "TenantQuotas",
+    "TokenBucket",
+    "read_request",
+    "render_response",
+]

@@ -1,0 +1,92 @@
+"""Per-tenant token-bucket quotas for the HTTP front end.
+
+Admission control (:mod:`repro.server.app`) bounds the *total* load the
+process accepts; quotas bound what any one tenant may take of it, so a
+single chatty client cannot starve the rest.  Tenants are identified by
+the ``X-Repro-Tenant`` request header (anonymous requests share one
+bucket).
+
+The classic token bucket: a tenant accrues ``rate`` tokens per second
+up to a ceiling of ``burst``, and each admitted request spends one.
+Clocks are injected (``time.monotonic`` by default) so tests are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: Safety valve: one process will not track more tenants than this (a
+#: header forger could otherwise grow the bucket map without bound).
+MAX_TENANTS = 4096
+
+
+class TokenBucket:
+    """One tenant's budget: ``rate`` tokens/s up to ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated: float | None = None
+
+    def try_take(self, now: float) -> bool:
+        """Spend one token if the bucket has one; refill lazily."""
+        if self.updated is not None and now > self.updated:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self.updated) * self.rate
+            )
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class TenantQuotas:
+    """Lazily-created per-tenant buckets behind one ``admit`` call.
+
+    ``rate=None`` disables quotas entirely (every call admits).  The
+    default ``burst`` is ``max(1, 2 * rate)`` — a tenant may briefly
+    spike to twice its steady-state rate.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        if rate is not None and burst is None:
+            burst = max(1.0, 2.0 * rate)
+        self.burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def admit(self, tenant: str) -> bool:
+        """True when ``tenant`` may proceed (spends one token)."""
+        if self.rate is None:
+            return True
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            if len(self._buckets) >= MAX_TENANTS:
+                # Over the tenant cap every unknown tenant shares the
+                # overflow bucket: degraded fairness beats unbounded
+                # memory under a header-forging client.
+                tenant = "\x00overflow"
+                bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst)
+                self._buckets[tenant] = bucket
+        return bucket.try_take(self._clock())
+
+    def tenants(self) -> int:
+        return len(self._buckets)

@@ -15,10 +15,13 @@ Manifest format — a JSON list (or ``{"items": [...]}``) of objects::
 
 ``kind`` is one of:
 
-* ``optimize`` — full program-level optimization (a Figure-2 row),
-* ``search``   — per-array best-transformation search,
-* ``mws``      — exact MWS of the native order (``array`` optional; the
-  program total when omitted).
+* ``optimize``  — full program-level optimization (a Figure-2 row),
+* ``search``    — per-array best-transformation search,
+* ``mws``       — exact MWS of the native order (``array`` optional; the
+  program total when omitted),
+* ``analyze``   — footprints plus exact windows for every array,
+* ``hierarchy`` — tier-stack sizing against a preset (default ``tcm``),
+* ``param``     — closed-form MWS/distinct expressions in the bounds.
 
 The target is either ``kernel`` (a Figure-2 kernel name) or ``file`` (a
 loop-nest source file).  With a :class:`repro.store.ResultStore`
@@ -32,8 +35,7 @@ from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
@@ -42,9 +44,10 @@ from repro import obs
 from repro.obs import flight, runctx
 from repro.obs import metrics as obs_metrics
 from repro.ir.program import Program
+from repro.store.pool import ReclaimablePool
 
-#: Recognized work-item kinds.
-KINDS = ("optimize", "search", "mws")
+#: Recognized work-item kinds (dispatched by :func:`repro.api.evaluate_kind`).
+KINDS = ("optimize", "search", "mws", "analyze", "hierarchy", "param")
 
 #: Second-scale latency buckets (the metrics default is integer-scaled).
 LATENCY_BUCKETS = (0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0)
@@ -140,34 +143,16 @@ def _default_evaluator(
     engine: str,
     store,
 ) -> dict[str, Any]:
-    """Run one work item; returns a JSON-ready result dict."""
-    if kind == "optimize":
-        from repro.core.optimizer import optimize_program
+    """Run one work item; returns a JSON-ready result dict.
 
-        result = optimize_program(program, engine=engine, store=store)
-        return {
-            "mws_before": result.mws_before,
-            "mws_after": result.mws_after,
-            "t": result.transformation.rows,
-        }
-    if kind == "search":
-        from repro.transform.search import search_best_transformation
+    Delegates to the :mod:`repro.api` facade so the batch runner, the
+    CLI, and the HTTP service all execute work through one entry path.
+    (Lazy import: ``repro.api`` imports this module.)
+    """
+    from repro.api import evaluate_kind
 
-        name = array or program.arrays[0]
-        result = search_best_transformation(
-            program, name, engine=engine, store=store
-        )
-        return {
-            "array": name,
-            "exact": result.exact_mws,
-            "t": result.transformation.rows,
-            "method": result.method,
-        }
-    from repro.transform.search import evaluate_exact
-
-    value = evaluate_exact(program, [None], array=array, engine=engine,
-                           store=store)[0]
-    return {"array": array, "mws": value}
+    return evaluate_kind(kind, program, array=array, engine=engine,
+                         store=store)
 
 
 def _batch_task(payload) -> tuple[dict[str, Any], dict[str, int]]:
@@ -186,8 +171,15 @@ def _batch_task(payload) -> tuple[dict[str, Any], dict[str, int]]:
     evaluator, label, sig, kind, program, array, engine, store = payload
     flight.heartbeat("item_start", item=label, sig=sig)
     started = time.perf_counter()
-    with flight.HeartbeatThread(label, sig=sig):
-        result = evaluator(kind, program, array, engine, store)
+    try:
+        # The context manager stops the heartbeat thread on *any* exit —
+        # a raising evaluator must not leave a daemon thread appending
+        # heartbeats for an item that is already dead.
+        with flight.HeartbeatThread(label, sig=sig):
+            result = evaluator(kind, program, array, engine, store)
+    except BaseException:
+        flight.heartbeat("item_error", item=label, sig=sig)
+        raise
     worker_obs = obs.get_observer()
     delta: dict[str, int] = {}
     if worker_obs is not None:
@@ -235,6 +227,32 @@ def _observe_latency(wall_s: float, delta: Mapping[str, int]) -> None:
     warm = hits > 0 and delta.get("store.misses", 0) == 0
     name = "batch.latency.warm_s" if warm else "batch.latency.cold_s"
     obs_metrics.observe(name, wall_s, buckets=LATENCY_BUCKETS)
+    return warm
+
+
+def record_item_timeout(
+    label: str, sig: str | None, timeout_s: float | None
+) -> dict[str, int]:
+    """Account for one abandoned item (shared batch/service timeout path).
+
+    Recovers the doomed worker's last heartbeat counter snapshot, bumps
+    ``batch.item.timeout``, attributes the timeout on the run context,
+    and emits the ``item_timeout`` heartbeat.  The worker itself is
+    reclaimed by :class:`repro.store.pool.ReclaimablePool` — by the time
+    this runs the slot is already being respawned.
+    """
+    recovered = _recover_timeout_delta(label)
+    for name, amount in recovered.items():
+        obs.counter(name, amount)
+    obs.counter("batch.item.timeout")
+    runctx.annotate("timeouts", {
+        "item": label,
+        "sig": sig,
+        "timeout_s": timeout_s,
+        "recovered_counters": recovered,
+    })
+    flight.heartbeat("item_timeout", item=label, sig=sig)
+    return recovered
 
 
 def run_batch(
@@ -250,12 +268,13 @@ def run_batch(
     Malformed entries (unknown kind, missing target) become ``error``
     outcomes.  Identical work — same ``(kind, signature, array)`` — is
     evaluated once and aliased (``duplicate_of``).  ``workers > 1`` fans
-    unique items out on a ``ProcessPoolExecutor`` with a per-item
-    ``timeout`` (seconds); a timed-out item is reported as ``timeout``
-    while the rest of the batch completes.  Serial mode cannot preempt a
-    running item, so ``timeout`` needs ``workers >= 1``.  ``evaluator``
-    is injectable for tests (module-level callable when pickled to
-    workers).
+    unique items out on a :class:`repro.store.pool.ReclaimablePool` with
+    a per-item ``timeout`` (seconds); a timed-out item is reported as
+    ``timeout``, its worker is killed and respawned (counted under
+    ``batch.worker.reclaimed``), and the rest of the batch completes on
+    a full-strength pool.  Serial mode cannot preempt a running item,
+    so ``timeout`` needs ``workers >= 1``.  ``evaluator`` is injectable
+    for tests (module-level callable when pickled to workers).
     """
     from repro.transform.search import _resolve_workers
 
@@ -304,67 +323,64 @@ def run_batch(
     with obs.span("batch", items=len(items), unique=len(unique),
                   workers=workers if parallel else 0):
         if parallel:
-            with ProcessPoolExecutor(
-                max_workers=workers,
+            # One reclaimable slot per worker: a timed-out item's worker
+            # is killed and respawned, so a hung item can never occupy a
+            # pool slot for the rest of the batch (or, in the always-on
+            # service, forever).  One driver thread per slot blocks on
+            # the process future; completions are handled here in
+            # submission-thread order of completion.
+            pool = ReclaimablePool(
+                workers,
                 initializer=obs.core._init_worker,
                 initargs=(obs.enabled(), runctx.worker_state()),
-            ) as pool:
-                futures = []
-                for item in unique:
-                    sig = (item.program.signature()
-                           if item.program is not None else None)
-                    payload = (
-                        evaluator, item.label, sig, item.kind, item.program,
-                        item.array, engine, store,
-                    )
-                    futures.append((item, sig, time.perf_counter(),
-                                    pool.submit(_batch_task, payload)))
-                for item, sig, started, future in futures:
-                    try:
-                        result, delta = future.result(timeout=timeout)
-                    except _FutureTimeout:
-                        future.cancel()
-                        # The worker's per-item counter delta would be
-                        # dropped with the future: recover its last
-                        # heartbeat snapshot so the telemetry survives.
-                        recovered = _recover_timeout_delta(item.label)
-                        for name, amount in recovered.items():
-                            obs.counter(name, amount)
-                        obs.counter("batch.item.timeout")
-                        obs.counter("batch.items.timeout")  # legacy name
-                        runctx.annotate("timeouts", {
-                            "item": item.label,
-                            "sig": sig,
-                            "timeout_s": timeout,
-                            "recovered_counters": recovered,
-                        })
-                        flight.heartbeat("item_timeout", item=item.label,
-                                         sig=sig)
-                        results[item.index] = BatchOutcome(
-                            item, "timeout",
-                            error=f"timed out after {timeout:g}s",
-                            wall_s=time.perf_counter() - started,
+            )
+            try:
+                with ThreadPoolExecutor(max_workers=workers) as threads:
+                    dispatch = {}
+                    for item in unique:
+                        sig = (item.program.signature()
+                               if item.program is not None else None)
+                        payload = (
+                            evaluator, item.label, sig, item.kind,
+                            item.program, item.array, engine, store,
                         )
-                        _progress()
-                        continue
-                    except Exception as exc:  # degrade, don't abort
-                        obs.counter("batch.items.error")
-                        results[item.index] = BatchOutcome(
-                            item, "error", error=f"{type(exc).__name__}: {exc}",
-                            wall_s=time.perf_counter() - started,
+                        future = threads.submit(
+                            pool.run_one, _batch_task, payload, timeout
                         )
+                        dispatch[future] = (item, sig)
+                    for future in as_completed(dispatch):
+                        item, sig = dispatch[future]
+                        slot = future.result()
+                        if slot.status == "timeout":
+                            # The worker's per-item counter delta would
+                            # be dropped with the item: recover its last
+                            # heartbeat snapshot so telemetry survives.
+                            record_item_timeout(item.label, sig, timeout)
+                            results[item.index] = BatchOutcome(
+                                item, "timeout",
+                                error=f"timed out after {timeout:g}s",
+                                wall_s=slot.wall_s,
+                            )
+                        elif slot.status == "error":  # degrade, don't abort
+                            exc = slot.value
+                            obs.counter("batch.items.error")
+                            results[item.index] = BatchOutcome(
+                                item, "error",
+                                error=f"{type(exc).__name__}: {exc}",
+                                wall_s=slot.wall_s,
+                            )
+                        else:
+                            result, delta = slot.value
+                            for name, amount in delta.items():
+                                obs.counter(name, amount)
+                            obs.counter("batch.items.ok")
+                            _observe_latency(slot.wall_s, delta)
+                            results[item.index] = BatchOutcome(
+                                item, "ok", result=result, wall_s=slot.wall_s
+                            )
                         _progress()
-                        continue
-                    wall = time.perf_counter() - started
-                    for name, amount in delta.items():
-                        obs.counter(name, amount)
-                    obs.counter("batch.items.ok")
-                    _observe_latency(wall, delta)
-                    results[item.index] = BatchOutcome(
-                        item, "ok", result=result, wall_s=wall
-                    )
-                    _progress()
-                pool.shutdown(wait=False, cancel_futures=True)
+            finally:
+                pool.shutdown(kill=True)
         else:
             observer = obs.get_observer()
             for item in unique:

@@ -137,7 +137,32 @@ class TestRunBatch:
         assert by_target["sor"].status == "timeout"
         assert "timed out after 0.5s" in by_target["sor"].error
         assert by_target["2point"].status == "ok"
-        assert observer.counters["batch.items.timeout"] == 1
+        assert observer.counters["batch.item.timeout"] == 1
+        # The retired legacy spelling must never be emitted again.
+        assert "batch.items.timeout" not in observer.counters
+        # The hung worker was killed and respawned: the slot is free.
+        assert observer.counters["batch.worker.reclaimed"] == 1
+
+    def test_hanging_items_do_not_deadlock_pool(self, observer):
+        """ISSUE 10 S1 regression: with the old abandon-the-future
+        timeout, ``workers`` hanging items permanently occupied every
+        ProcessPoolExecutor slot and the rest of the batch deadlocked.
+        The reclaimable pool kills+respawns each hung worker, so two
+        hangs on a two-slot pool still let the third item complete."""
+        report = run_batch(
+            [{"kind": "mws", "kernel": "sor"},
+             {"kind": "mws", "kernel": "3point"},
+             {"kind": "mws", "kernel": "2point"}],
+            workers=2,
+            timeout=1.0,
+            evaluator=_hang_all_but_2point_evaluator,
+        )
+        by_target = {o.item.target: o for o in report.outcomes}
+        assert by_target["sor"].status == "timeout"
+        assert by_target["3point"].status == "timeout"
+        assert by_target["2point"].status == "ok"
+        assert observer.counters["batch.worker.reclaimed"] == 2
+        assert observer.counters["batch.item.timeout"] == 2
 
     def test_parallel_matches_serial(self):
         entries = [
@@ -260,9 +285,9 @@ class TestTimeoutTelemetry:
         by_target = {o.item.target: o for o in report.outcomes}
         assert by_target["sor"].status == "timeout"
         assert by_target["2point"].status == "ok"
-        # New counter name plus the legacy alias, each exactly once.
+        # Only the canonical counter name; the legacy alias is retired.
         assert observer.counters["batch.item.timeout"] == 1
-        assert observer.counters["batch.items.timeout"] == 1
+        assert "batch.items.timeout" not in observer.counters
         # The counter bumped *inside* the abandoned worker survived via
         # its heartbeat snapshot — no more silent telemetry loss.
         assert observer.counters["test.batch.partial"] == 7
@@ -319,6 +344,14 @@ def _sleepy_evaluator(kind, program, array, engine, store):
 def _explosive_evaluator(kind, program, array, engine, store):
     if program.name == "sor":
         raise RuntimeError("boom")
+    from repro.store.batch import _default_evaluator
+
+    return _default_evaluator(kind, program, array, engine, store)
+
+
+def _hang_all_but_2point_evaluator(kind, program, array, engine, store):
+    if program.name != "2point":
+        time.sleep(30)
     from repro.store.batch import _default_evaluator
 
     return _default_evaluator(kind, program, array, engine, store)

@@ -212,3 +212,72 @@ class TestCliHierarchy:
         out = capsys.readouterr().out
         assert "hierarchy plan (tcm):" in out
         assert "joint :" in out and "flat  :" in out
+
+
+class TestCliStoreCompact:
+    def test_requires_store(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        assert main(["store-compact"]) == 1
+        assert "no store" in capsys.readouterr().err
+
+    def test_compacts_and_reports(self, tmp_path, capsys):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        store.put("mws", {"k": 1}, {"mws": 3})
+        bad = store.record_path("mws", {"k": 2})
+        bad.write_text("{truncated", encoding="utf-8")
+        assert main(["--store", str(tmp_path), "store-compact"]) == 0
+        out = capsys.readouterr().out
+        assert "deleted 1 corrupt" in out
+        assert not bad.exists()
+        # Second sweep is a no-op on the now-clean store.
+        assert main(["--store", str(tmp_path), "store-compact"]) == 0
+        assert "deleted 0 corrupt" in capsys.readouterr().out
+
+
+class TestCliServe:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.quota_rate is None and not args.no_quota
+        assert args.queue_limit is None
+        assert args.compact_interval is None
+
+    def test_serve_end_to_end_seals_ledger(self, tmp_path):
+        # The CLI path: subprocess `repro serve`, ephemeral port parsed
+        # from stdout, one request, graceful shutdown, and the sealed
+        # ledger record carries command "serve".
+        import json
+        import subprocess
+        import sys
+        import urllib.request
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "--store", str(tmp_path),
+             "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "listening on http://" in line, line
+            url = line.strip().rsplit(" ", 1)[-1]
+            with urllib.request.urlopen(f"{url}/healthz", timeout=30) as r:
+                assert json.loads(r.read())["status"] == "ok"
+            req = urllib.request.Request(
+                f"{url}/shutdown", data=b"{}", method="POST")
+            with urllib.request.urlopen(req, timeout=30) as r:
+                assert r.status == 202
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        from repro.obs.ledger import load_run
+        from repro.store import ResultStore
+
+        record = load_run(ResultStore(tmp_path), "last")
+        assert record is not None and record["command"] == "serve"

@@ -1,0 +1,267 @@
+"""Store compaction + legacy-counter retirement (ISSUE 10).
+
+Covers :mod:`repro.store.maintenance` (the background sweep an
+always-on service runs against its resident store) and the
+``batch.items.timeout`` -> ``batch.item.timeout`` rename boundary:
+canonicalization on record build, on-disk rewriting by the sweep, and
+the reconciliation view never reporting a phantom counter delta.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import ledger, runctx
+from repro.obs.ledger import (
+    LEDGER_KIND,
+    LEGACY_COUNTERS,
+    canonical_counters,
+    rewrite_legacy_record,
+)
+from repro.reporting.ledger import diff_runs, render_run_diff
+from repro.store import ResultStore
+from repro.store.maintenance import (
+    CompactionReport,
+    compact_store,
+    render_compaction,
+)
+
+
+@pytest.fixture
+def observer():
+    observer = obs.enable()
+    try:
+        yield observer
+    finally:
+        obs.disable()
+
+
+@pytest.fixture(autouse=True)
+def _no_run_context():
+    runctx.end_run()
+    yield
+    runctx.end_run()
+
+
+# ----------------------------------------------------------------------
+# counter canonicalization
+# ----------------------------------------------------------------------
+
+class TestCanonicalCounters:
+    def test_legacy_spelling_folds_into_canonical(self):
+        out = canonical_counters({
+            "batch.items.timeout": 2,
+            "batch.items.ok": 5,
+        })
+        assert out == {"batch.item.timeout": 2, "batch.items.ok": 5}
+
+    def test_collision_collapses_with_max_not_sum(self):
+        # Legacy records bumped *both* spellings for the same event:
+        # summing would double every timeout across the rename boundary.
+        out = canonical_counters({
+            "batch.item.timeout": 3,
+            "batch.items.timeout": 3,
+        })
+        assert out == {"batch.item.timeout": 3}
+
+    def test_clean_map_passes_through_sorted(self):
+        out = canonical_counters({"z": 1, "a": 2})
+        assert list(out) == ["a", "z"]
+        assert out == {"a": 2, "z": 1}
+
+    def test_build_record_normalizes_at_source(self):
+        ctx = runctx.RunContext(
+            run_id="20250101-000000-aaaaaa", command="batch", env={}, git=None
+        )
+        record = ledger.build_record(ctx, {
+            "counters": {"batch.items.timeout": 1, "batch.item.timeout": 1},
+        })
+        assert record["counters"] == {"batch.item.timeout": 1}
+        assert record["batch"] == {"item.timeout": 1}
+
+
+class TestRewriteLegacyRecord:
+    def _legacy_record(self):
+        return {
+            "run": "20240101-000000-aaaaaa",
+            "counters": {
+                "batch.items.timeout": 2,
+                "batch.item.timeout": 2,
+                "batch.items.ok": 4,
+                "store.misses": 1,
+            },
+            "batch": {"items.timeout": 2, "item.timeout": 2, "items.ok": 4},
+            "store_io": {"misses": 1},
+            "result_digest": "d" * 64,
+        }
+
+    def test_clean_record_returns_none(self):
+        assert rewrite_legacy_record({"counters": {"batch.item.timeout": 1}}) \
+            is None
+        assert rewrite_legacy_record({"status": 0}) is None
+
+    def test_rewrites_counters_and_rebuilds_sections(self):
+        out = rewrite_legacy_record(self._legacy_record())
+        assert out is not None
+        assert out["counters"] == {
+            "batch.item.timeout": 2,
+            "batch.items.ok": 4,
+            "store.misses": 1,
+        }
+        assert out["batch"] == {"item.timeout": 2, "items.ok": 4}
+        assert out["store_io"] == {"misses": 1}
+        # Identity fields untouched: the store key stays stable.
+        assert out["run"] == "20240101-000000-aaaaaa"
+        assert out["result_digest"] == "d" * 64
+
+    def test_every_retired_spelling_has_a_live_target(self):
+        for legacy, canonical in LEGACY_COUNTERS.items():
+            assert legacy != canonical
+
+
+# ----------------------------------------------------------------------
+# phantom-delta regression: runs diff across the rename boundary
+# ----------------------------------------------------------------------
+
+class TestRunsDiffAcrossRename:
+    def _record(self, counters, run="r"):
+        return {"run": run, "counters": counters}
+
+    def test_no_phantom_delta_across_rename_boundary(self):
+        old = self._record(
+            {"batch.items.timeout": 1, "batch.item.timeout": 1,
+             "batch.items.ok": 3},
+            run="old",
+        )
+        new = self._record(
+            {"batch.item.timeout": 1, "batch.items.ok": 3}, run="new"
+        )
+        diff = diff_runs(old, new)
+        assert diff.batch_delta == {}
+        assert "items.timeout" not in render_run_diff(diff)
+
+    def test_real_delta_still_reported(self):
+        old = self._record({"batch.items.timeout": 1,
+                            "batch.item.timeout": 1})
+        new = self._record({"batch.item.timeout": 3})
+        diff = diff_runs(old, new)
+        assert diff.batch_delta == {"item.timeout": (1, 3)}
+        rendered = render_run_diff(diff)
+        assert "item.timeout: 1 -> 3" in rendered
+
+
+# ----------------------------------------------------------------------
+# the compaction sweep
+# ----------------------------------------------------------------------
+
+class TestCompactStore:
+    def test_empty_store_is_a_clean_sweep(self, tmp_path):
+        report = compact_store(ResultStore(tmp_path))
+        assert report.scanned == 0
+        assert not report.changed
+
+    def test_valid_records_are_kept(self, tmp_path, observer):
+        store = ResultStore(tmp_path)
+        store.put("exact", {"k": 1}, 41)
+        store.put("exact", {"k": 2}, 42)
+        store.put("search", {"k": 3}, {"t": [[1]]})
+        report = compact_store(store)
+        assert report.scanned == 3
+        assert report.kept == 3
+        assert report.kinds == {"exact": 2, "search": 1}
+        assert not report.changed
+        assert store.get("exact", {"k": 1}) == 41
+        assert observer.counters["store.compact.scanned"] == 3
+        assert "store.compact.corrupt_deleted" not in observer.counters
+
+    def test_corrupt_records_are_deleted(self, tmp_path, observer):
+        store = ResultStore(tmp_path)
+        path = store.put("exact", {"k": 1}, 41)
+        path.write_text("{torn", encoding="utf-8")
+        garbage = path.parent / ("f" * 32 + ".json")
+        garbage.write_text(json.dumps({"schema": 999}), encoding="utf-8")
+        report = compact_store(store)
+        assert report.corrupt_deleted == 2
+        assert not path.exists() and not garbage.exists()
+        assert observer.counters["store.compact.corrupt_deleted"] == 2
+
+    def test_misfiled_record_is_deleted(self, tmp_path):
+        # Valid JSON whose filename is not the content address of its
+        # key: unreachable by get(), pure dead weight only a sweep sees.
+        store = ResultStore(tmp_path)
+        real = store.put("exact", {"k": 1}, 41)
+        misfiled = real.parent / ("0" * 32 + ".json")
+        misfiled.write_text(real.read_text(encoding="utf-8"),
+                            encoding="utf-8")
+        report = compact_store(store)
+        assert report.corrupt_deleted == 1
+        assert not misfiled.exists()
+        assert real.exists()
+
+    def test_legacy_ledger_record_rewritten_on_disk(self, tmp_path, observer):
+        store = ResultStore(tmp_path)
+        run_id = "20240101-000000-aaaaaa"
+        store.put(LEDGER_KIND, {"run": run_id}, {
+            "run": run_id,
+            "counters": {"batch.items.timeout": 1, "batch.item.timeout": 1},
+            "batch": {"items.timeout": 1, "item.timeout": 1},
+        })
+        report = compact_store(store)
+        assert report.legacy_rewritten == 1
+        assert report.kept == 1
+        healed = store.get(LEDGER_KIND, {"run": run_id})
+        assert healed["counters"] == {"batch.item.timeout": 1}
+        assert healed["batch"] == {"item.timeout": 1}
+        assert observer.counters["store.compact.legacy_rewritten"] == 1
+        # A second sweep finds nothing left to rewrite.
+        assert compact_store(store).legacy_rewritten == 0
+
+    def test_stale_tmp_files_swept_fresh_ones_kept(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("exact", {"k": 1}, 41)
+        kind_dir = store.base / "exact"
+        stale = kind_dir / "abc.json.tmp.999"
+        stale.write_text("{", encoding="utf-8")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        fresh = kind_dir / "def.json.tmp.1000"
+        fresh.write_text("{", encoding="utf-8")
+        report = compact_store(store)
+        assert report.tmp_removed == 1
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_lru_never_resurrects_a_compacted_record(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put("exact", {"k": 1}, 41)
+        assert store.get("exact", {"k": 1}) == 41  # hot in the LRU front
+        path.write_text("{torn by a crashed writer", encoding="utf-8")
+        report = compact_store(store)
+        assert report.corrupt_deleted == 1
+        # The sweep dropped the in-memory front along with the file: a
+        # hot entry must not serve a record that no longer exists.
+        assert store.get("exact", {"k": 1}) is None
+
+    def test_report_is_json_ready(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("exact", {"k": 1}, 41)
+        report = compact_store(store)
+        payload = report.as_dict()
+        json.dumps(payload)
+        assert payload["scanned"] == 1
+        assert payload["kinds"] == {"exact": 1}
+
+    def test_render_compaction_smoke(self):
+        report = CompactionReport(
+            scanned=3, kept=2, corrupt_deleted=1, legacy_rewritten=0,
+            tmp_removed=2, kinds={"exact": 2}, wall_s=0.01,
+        )
+        text = render_compaction(report)
+        assert "scanned 3 records" in text
+        assert "deleted 1 corrupt" in text
+        assert "removed 2 stale temp file(s)" in text

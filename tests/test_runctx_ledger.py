@@ -353,6 +353,44 @@ class TestFlightRecorder:
         assert "batch: 1/3" in text
         assert "run ended" in text
 
+    def test_thread_stops_when_body_raises(self, tmp_path):
+        # ISSUE 10 S2: an exception inside the guarded block must stop
+        # the daemon thread — not leave it appending heartbeats for an
+        # item that is already dead.
+        ctx = runctx.begin_run("batch", live_dir=tmp_path / "live")
+        hb = flight.HeartbeatThread("#0 mws sor", interval=0.01)
+        with pytest.raises(RuntimeError, match="boom"):
+            with hb:
+                time.sleep(0.05)
+                raise RuntimeError("boom")
+        assert hb._thread is None
+        before = len(flight.read_heartbeats(ctx.live_path))
+        time.sleep(0.05)
+        assert len(flight.read_heartbeats(ctx.live_path)) == before
+
+    def test_stop_is_idempotent(self, tmp_path):
+        runctx.begin_run("batch", live_dir=tmp_path / "live")
+        hb = flight.HeartbeatThread("#0", interval=0.01).start()
+        hb.stop()
+        hb.stop()  # second stop is a no-op, not an error
+        assert hb._thread is None
+
+    def test_no_heartbeats_after_run_seal(self, tmp_path):
+        # A thread that outlives its run (service keeps the process
+        # alive) must stop beating once the run context is gone.
+        ctx = runctx.begin_run("batch", live_dir=tmp_path / "live")
+        hb = flight.HeartbeatThread("#0", interval=0.02).start()
+        time.sleep(0.06)
+        live = ctx.live_path
+        runctx.end_run()
+        # Grace period: any in-flight beat finishes, then the thread
+        # observes the dead context and exits on its own.
+        time.sleep(0.06)
+        count = len(flight.read_heartbeats(live))
+        time.sleep(0.08)
+        assert len(flight.read_heartbeats(live)) == count
+        hb.stop()
+
     def test_heartbeat_interval_env(self, monkeypatch):
         assert flight.heartbeat_interval() == flight.DEFAULT_HEARTBEAT_S
         monkeypatch.setenv(flight.HEARTBEAT_ENV, "0.25")
